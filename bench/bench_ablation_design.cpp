@@ -1,0 +1,103 @@
+// Ablation of CollaPois's design choices (DESIGN.md §4): what each knob
+// of the attack buys, measured on the FEMNIST-like substrate at alpha=0.1
+// with the 1%-analogue compromised fraction.
+//
+//   psi range  — the dynamic learning rate's support [a, b]: narrow-high
+//                ranges pull hardest; wide/low ranges trade speed for
+//                randomness (stealth).
+//   strike     — attack_start_round: striking near convergence keeps X in
+//                the model's loss valley (cf. Theorem 2's regime).
+//   tau        — the update-norm floor preserving Theorem 3's estimation-
+//                error lower bound; should not change Attack SR.
+//   clip       — the shared magnitude bound A blending malicious updates
+//                into the benign envelope; costs pull strength.
+#include "bench_common.h"
+
+namespace {
+
+using namespace collapois;
+using bench::SeriesTable;
+
+SeriesTable& table() {
+  static SeriesTable t("Ablation — CollaPois design choices (FEMNIST)");
+  return t;
+}
+
+sim::ExperimentConfig base() {
+  sim::ExperimentConfig cfg =
+      bench::base_config(sim::DatasetKind::femnist_like);
+  cfg.attack = sim::AttackKind::collapois;
+  cfg.alpha = 0.1;
+  cfg.compromised_fraction = bench::paper_fraction("1%");
+  return cfg;
+}
+
+void run_labeled(benchmark::State& state, const std::string& label,
+                 const sim::ExperimentConfig& cfg) {
+  for (auto _ : state) {
+    const sim::ExperimentResult r = sim::run_experiment(cfg);
+    bench::report_counters(state, r);
+    table().add(label, r.population.benign_ac, r.population.attack_sr);
+  }
+}
+
+void register_all() {
+  // psi ranges.
+  for (auto [a, b] : {std::pair{0.5, 0.6}, std::pair{0.9, 1.0},
+                      std::pair{0.95, 0.99}}) {
+    sim::ExperimentConfig cfg = base();
+    cfg.collapois.psi_a = a;
+    cfg.collapois.psi_b = b;
+    const std::string label =
+        "psi U[" + std::to_string(a) + "," + std::to_string(b) + "]";
+    benchmark::RegisterBenchmark(
+        ("ablation/" + label).c_str(),
+        [label, cfg](benchmark::State& s) { run_labeled(s, label, cfg); })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  // Strike round.
+  for (std::size_t strike : {0UL, 20UL, 80UL}) {
+    sim::ExperimentConfig cfg = base();
+    cfg.attack_start_round = strike;
+    const std::string label = "strike at round " + std::to_string(strike);
+    benchmark::RegisterBenchmark(
+        ("ablation/" + label).c_str(),
+        [label, cfg](benchmark::State& s) { run_labeled(s, label, cfg); })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  // tau floor.
+  for (double tau : {0.0, 2.0}) {
+    sim::ExperimentConfig cfg = base();
+    cfg.collapois.tau = tau;
+    const std::string label = "tau = " + std::to_string(tau);
+    benchmark::RegisterBenchmark(
+        ("ablation/" + label).c_str(),
+        [label, cfg](benchmark::State& s) { run_labeled(s, label, cfg); })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+  // Stealth clip bound A.
+  for (double clip : {0.0, 0.5, 2.0}) {
+    sim::ExperimentConfig cfg = base();
+    cfg.collapois.clip = clip;
+    const std::string label =
+        clip == 0.0 ? "clip off" : "clip A = " + std::to_string(clip);
+    benchmark::RegisterBenchmark(
+        ("ablation/" + label).c_str(),
+        [label, cfg](benchmark::State& s) { run_labeled(s, label, cfg); })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

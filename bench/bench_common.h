@@ -1,0 +1,80 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary follows the same pattern: register one
+// google-benchmark case per series point of the paper figure, run the
+// experiment inside the benchmark body (a single iteration — the measured
+// quantity is the full federated campaign), expose Benign AC / Attack SR
+// as counters, and print a paper-style series table at exit.
+//
+// COLLAPOIS_SCALE=k (k = 1, 2, 3, ...) multiplies clients and rounds for
+// higher-fidelity runs; defaults are sized for a 1-core CI box.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+#include "sim/runner.h"
+
+namespace collapois::bench {
+
+inline std::size_t scale() {
+  const char* env = std::getenv("COLLAPOIS_SCALE");
+  if (env == nullptr) return 1;
+  const long v = std::strtol(env, nullptr, 10);
+  return v >= 1 ? static_cast<std::size_t>(v) : 1;
+}
+
+// Base experiment sized to the bench budget; benches override fields.
+inline sim::ExperimentConfig base_config(sim::DatasetKind dataset) {
+  sim::ExperimentConfig cfg;
+  cfg.dataset = dataset;
+  const std::size_t s = scale();
+  cfg.n_clients = 100 * s;
+  cfg.rounds = 200 * s;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+// The paper compromises 0.1% / 0.5% / 1% of 3,400-5,600 clients over
+// 1000+ rounds; the scale-preserving quantity is the total malicious
+// pull mass T * |C| / N (see EXPERIMENTS.md). These fractions reproduce
+// the paper's mass levels at the simulator's round budget.
+inline double paper_fraction(const std::string& label) {
+  if (label == "0.1%") return 0.01;
+  if (label == "0.5%") return 0.025;
+  if (label == "1%") return 0.05;
+  throw std::invalid_argument("paper_fraction: unknown level " + label);
+}
+
+// Collected series rows printed as the figure table at exit.
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::string title) : title_(std::move(title)) {}
+  ~SeriesTable() {
+    if (!rows_.empty()) sim::print_series(std::cout, title_, rows_);
+  }
+
+  void add(const std::string& label, double benign_ac, double attack_sr) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    rows_.push_back({label, benign_ac, attack_sr});
+  }
+
+ private:
+  std::string title_;
+  std::mutex mu_;
+  std::vector<sim::SeriesRow> rows_;
+};
+
+inline void report_counters(benchmark::State& state,
+                            const sim::ExperimentResult& result) {
+  state.counters["benign_ac"] = result.population.benign_ac;
+  state.counters["attack_sr"] = result.population.attack_sr;
+}
+
+}  // namespace collapois::bench

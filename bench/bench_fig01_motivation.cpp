@@ -1,0 +1,59 @@
+// Fig. 1 — Motivation: existing DPois and MRepl attacks show only modest
+// changes between 0.1% and 1% compromised clients across non-IID levels
+// (alpha in [0.01, 100]) on the Sentiment dataset.
+//
+// Series: attack x compromised-level x alpha -> (Benign AC, Attack SR).
+#include "bench_common.h"
+
+namespace {
+
+using namespace collapois;
+using bench::SeriesTable;
+
+SeriesTable& table() {
+  static SeriesTable t("Fig. 1 — DPois/MRepl Attack SR vs alpha (Sentiment)");
+  return t;
+}
+
+void run_point(benchmark::State& state, sim::AttackKind attack,
+               const std::string& level, double alpha) {
+  sim::ExperimentConfig cfg = bench::base_config(sim::DatasetKind::sentiment_like);
+  cfg.attack = attack;
+  cfg.compromised_fraction = bench::paper_fraction(level);
+  cfg.alpha = alpha;
+  for (auto _ : state) {
+    const sim::ExperimentResult r = sim::run_experiment(cfg);
+    bench::report_counters(state, r);
+    table().add(std::string(sim::attack_name(attack)) + " c=" + level +
+                    " a=" + std::to_string(alpha),
+                r.population.benign_ac, r.population.attack_sr);
+  }
+}
+
+void register_all() {
+  for (sim::AttackKind attack :
+       {sim::AttackKind::dpois, sim::AttackKind::mrepl}) {
+    for (const char* level : {"0.1%", "1%"}) {
+      for (double alpha : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+        std::string name = std::string("fig01/") + sim::attack_name(attack) +
+                           "/c" + level + "/alpha" + std::to_string(alpha);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [attack, level = std::string(level), alpha](
+                benchmark::State& s) { run_point(s, attack, level, alpha); })
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

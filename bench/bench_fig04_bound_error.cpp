@@ -1,0 +1,157 @@
+// Fig. 4 — Relative approximation error of the Theorem 1 lower bound on
+// |C| as a function of alpha (FEMNIST). The "exact" bound uses the angle
+// statistics of all benign clients' gradients against the malicious
+// direction; the attacker's estimate uses only data held by compromised
+// clients (partitioned into pseudo-clients with the same skew), exactly
+// as the threat model allows. The paper reports marginal errors
+// (2.23% at alpha = 0.01 down to 0.57% at alpha = 100).
+#include <cmath>
+#include <iomanip>
+#include <iterator>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/stealth.h"
+#include "core/theory.h"
+#include "core/trojan_trainer.h"
+#include "data/partition.h"
+#include "data/synthetic_image.h"
+#include "nn/zoo.h"
+#include "stats/geometry.h"
+#include "trojan/warp_trigger.h"
+
+namespace {
+
+using namespace collapois;
+
+struct Row {
+  double alpha;
+  double exact_fraction;
+  double estimated_fraction;
+  double relative_error;
+  double hoeffding_eps;
+};
+
+std::vector<Row>& rows() {
+  static std::vector<Row> r;
+  return r;
+}
+
+void run_point(benchmark::State& state, double alpha) {
+  stats::Rng rng(42);
+  data::SyntheticImageGenerator gen({}, 7);
+  const std::size_t n = 60 * bench::scale();
+  data::FederatedData fed = data::build_federation(gen, n, 80, alpha, rng);
+
+  nn::Model arch = nn::make_lenet_small({});
+  arch.init(rng);
+  const tensor::FlatVec theta = arch.get_parameters();
+
+  // Compromised subset and the malicious direction theta - X.
+  const std::size_t n_comp = std::max<std::size_t>(6, n / 10);
+  const auto comp_ids = rng.sample_without_replacement(n, n_comp);
+  std::vector<const data::Dataset*> comp_data;
+  for (std::size_t id : comp_ids) comp_data.push_back(&fed.clients[id].train);
+  data::Dataset pooled = core::pool_auxiliary_data(comp_data);
+
+  trojan::WarpTrigger trigger({}, 9);
+  core::TrojanTrainConfig tcfg;
+  tcfg.sgd.epochs = 10;  // direction only; full convergence not needed
+  auto trained = core::train_trojaned_model(arch, pooled, trigger, tcfg, rng);
+  const tensor::FlatVec direction = tensor::sub(theta, trained.x);
+
+  const nn::SgdConfig one_pass{.learning_rate = 0.05, .batch_size = 16,
+                               .epochs = 1};
+
+  for (auto _ : state) {
+    // Exact stats: every benign client's gradient vs the direction.
+    std::vector<const data::Dataset*> benign_data;
+    for (std::size_t i = 0; i < n; ++i) {
+      bool comp = false;
+      for (std::size_t id : comp_ids) comp |= (id == i);
+      if (!comp) benign_data.push_back(&fed.clients[i].train);
+    }
+    nn::Model scratch = nn::make_lenet_small({});
+    std::vector<tensor::FlatVec> benign_grads;
+    for (int rep = 0; rep < 2; ++rep) {
+      auto g = core::sample_background_gradients(benign_data, scratch, theta,
+                                                 one_pass, rng);
+      benign_grads.insert(benign_grads.end(),
+                          std::make_move_iterator(g.begin()),
+                          std::make_move_iterator(g.end()));
+    }
+    const auto exact = core::theory::estimate_angle_stats(benign_grads,
+                                                          direction);
+
+    // Attacker estimate: pseudo-clients carved out of the compromised
+    // pool with the same Dirichlet skew, re-drawn several times to grow
+    // the angle sample (the attacker can resample its own data freely).
+    std::vector<tensor::FlatVec> est_grads;
+    for (int rep = 0; rep < 4; ++rep) {
+      const auto pseudo = data::partition_dirichlet(pooled, n_comp * 3,
+                                                    alpha, rng);
+      std::vector<const data::Dataset*> pseudo_ptrs;
+      for (const auto& p : pseudo) {
+        if (!p.empty()) pseudo_ptrs.push_back(&p);
+      }
+      auto g = core::sample_background_gradients(pseudo_ptrs, scratch, theta,
+                                                 one_pass, rng);
+      est_grads.insert(est_grads.end(), std::make_move_iterator(g.begin()),
+                       std::make_move_iterator(g.end()));
+    }
+    const auto est = core::theory::estimate_angle_stats(est_grads, direction);
+
+    // At simulator scale the benign angles sit near pi/2 and the clamped
+    // Eq. 5 bound collapses to 0 for both sides; compare the *unclamped*
+    // bound values so the estimate's accuracy is visible (the paper's
+    // plotted quantity is the relative gap of the estimated bound).
+    const double exact_raw =
+        core::theory::theorem1_fraction_raw(exact.mu, exact.sigma, 0.9, 1.0);
+    const double est_raw =
+        core::theory::theorem1_fraction_raw(est.mu, est.sigma, 0.9, 1.0);
+    const double rel_err = std::fabs(est_raw - exact_raw) /
+                           std::max(std::fabs(exact_raw), 1e-9);
+    rows().push_back({alpha, exact_raw, est_raw, rel_err,
+                      core::theory::theorem1_hoeffding_halfwidth(
+                          est.count, 0.05)});
+    state.counters["relative_error"] = rel_err;
+  }
+}
+
+void register_all() {
+  for (double alpha : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    const std::string name = "fig04/alpha" + std::to_string(alpha);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [alpha](benchmark::State& s) { run_point(s, alpha); })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+void print_table() {
+  std::cout << "== Fig. 4 — Theorem 1 bound approximation error vs alpha ==\n";
+  std::cout << std::right << std::setw(10) << "alpha" << std::setw(14)
+            << "exact_raw" << std::setw(14) << "est_raw" << std::setw(12)
+            << "rel_error" << std::setw(16) << "hoeffding_eps" << "\n";
+  for (const auto& r : rows()) {
+    std::cout << std::right << std::setw(10) << r.alpha << std::fixed
+              << std::setprecision(4) << std::setw(14) << r.exact_fraction
+              << std::setw(14) << r.estimated_fraction << std::setw(12)
+              << r.relative_error << std::setw(16) << r.hoeffding_eps << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "(paper shape: error is marginal at every alpha and largest "
+               "at the most diverse alpha = 0.01)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  benchmark::Shutdown();
+  return 0;
+}

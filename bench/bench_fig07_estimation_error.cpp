@@ -1,0 +1,136 @@
+// Fig. 7 — The server's estimation error ||X' - X|| over training rounds
+// under tau-upscaling (tau = 2), for several numbers of compromised
+// clients, at full detection precision p = 1 (FEMNIST). Also verifies the
+// Theorem 2 distance bound on every post-strike round.
+//
+// The server's best estimate of X from detected compromised updates is
+// X' = theta^t - mean(delta_c) (it cannot divide by the secret psi).
+// Hence ||X' - X|| = ||(theta^t - X) - mean(delta_c)||, which is bounded
+// below by | ||theta^t - X|| - ||mean(delta_c)|| |; with tau-upscaling the
+// update norm never collapses, keeping that floor away from zero.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "core/theory.h"
+#include "metrics/telemetry.h"
+#include "stats/geometry.h"
+
+namespace {
+
+using namespace collapois;
+
+struct Row {
+  std::size_t n_compromised;
+  std::size_t round_bucket;  // round / 40
+  double estimation_error;
+  double distance_to_x;
+};
+
+std::vector<Row>& rows() {
+  static std::vector<Row> r;
+  return r;
+}
+
+int& theorem2_violations() {
+  static int v = 0;
+  return v;
+}
+
+void run_point(benchmark::State& state, double fraction) {
+  sim::ExperimentConfig cfg =
+      bench::base_config(sim::DatasetKind::femnist_like);
+  cfg.attack = sim::AttackKind::collapois;
+  cfg.compromised_fraction = fraction;
+  cfg.alpha = 0.1;
+  cfg.collapois.tau = 2.0;  // the tau floor of Theorem 3 / Fig. 7
+  cfg.sample_prob = 0.15;
+  sim::RunOptions opt;
+  opt.keep_telemetry = true;
+
+  for (auto _ : state) {
+    const sim::ExperimentResult r = sim::run_experiment(cfg, opt);
+    double last_error = 0.0;
+    for (std::size_t t = 0; t < r.telemetry.size(); ++t) {
+      const auto split = metrics::split_updates(r.telemetry[t]);
+      if (split.malicious.empty() || r.rounds[t].distance_to_x <= 0.0) {
+        continue;
+      }
+      const double mean_delta_norm = stats::l2_norm(
+          tensor::mean_of(split.malicious));
+      const double dist = r.rounds[t].distance_to_x;
+      // Lower bound on ||X' - X|| (see header comment).
+      const double err = std::fabs(dist - mean_delta_norm);
+      last_error = err;
+      rows().push_back({r.compromised_ids.size(), t / 40, err, dist});
+
+      // Theorem 2: ||theta - X|| <= (1/a - 1)||delta_c|| + ||zeta||. The
+      // residual zeta covers the benign aggregate's displacement; bound it
+      // by the sum of benign update norms of the round.
+      double zeta = 0.0;
+      for (const auto& b : split.benign) zeta += stats::l2_norm(b);
+      const double delta_norm = stats::l2_norm(split.malicious[0]);
+      const double bound = core::theory::theorem2_distance_bound(
+          cfg.collapois.psi_a, delta_norm / cfg.collapois.psi_a, zeta);
+      // delta = psi (theta - X) => ||theta - X|| = ||delta|| / psi <=
+      // ||delta|| / a; the bound statement must not be violated by more
+      // than the residual.
+      if (dist > bound + delta_norm / cfg.collapois.psi_a + 1e-3) {
+        ++theorem2_violations();
+      }
+    }
+    state.counters["final_error"] = last_error;
+    state.counters["attack_sr"] = r.population.attack_sr;
+  }
+}
+
+void register_all() {
+  for (const char* level : {"0.1%", "0.5%", "1%"}) {
+    const std::string name = std::string("fig07/c") + level;
+    const double frac = bench::paper_fraction(level);
+    benchmark::RegisterBenchmark(
+        name.c_str(), [frac](benchmark::State& s) { run_point(s, frac); })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+void print_table() {
+  std::cout << "== Fig. 7 — server estimation error of X over rounds "
+               "(tau = 2, p = 1) ==\n";
+  std::cout << std::right << std::setw(8) << "|C|" << std::setw(14)
+            << "round>=" << std::setw(14) << "est_error" << std::setw(14)
+            << "||theta-X||" << "\n";
+  std::map<std::pair<std::size_t, std::size_t>, std::pair<double, int>> err;
+  std::map<std::pair<std::size_t, std::size_t>, double> dist;
+  for (const auto& r : rows()) {
+    const auto key = std::make_pair(r.n_compromised, r.round_bucket);
+    err[key].first += r.estimation_error;
+    err[key].second += 1;
+    dist[key] += r.distance_to_x;
+  }
+  for (const auto& [key, val] : err) {
+    std::cout << std::right << std::setw(8) << key.first << std::setw(14)
+              << key.second * 40 << std::fixed << std::setprecision(4)
+              << std::setw(14) << val.first / val.second << std::setw(14)
+              << dist[key] / val.second << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "Theorem 2 bound violations observed: "
+            << theorem2_violations() << "\n";
+  std::cout << "(paper shape: the error stabilises at a tau-controlled floor "
+               "instead of decaying to zero)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figs. 10 / 17 / 19 / 21 / 23 — CollaPois with small compromised
+// fractions (0.1% and 0.5% analogues) under defenses on Sentiment, with
+// client-level reporting: population average plus the top-1% / top-25% /
+// top-50% infected-client groups (Eq. 8 ranking).
+//
+// Paper finding: population averages look safe, but the top-25% infected
+// clients still suffer ~86% Attack SR at 0.5% compromised — defenses that
+// "work" on average leave a heavily-infected tail.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace collapois;
+
+struct Row {
+  std::string label;
+  double all_sr;
+  double top1_sr;
+  double top25_sr;
+  double top50_sr;
+  double benign_ac;
+};
+
+std::vector<Row>& rows() {
+  static std::vector<Row> r;
+  return r;
+}
+
+void run_point(benchmark::State& state, const std::string& level,
+               defense::DefenseKind def, double alpha) {
+  sim::ExperimentConfig cfg =
+      bench::base_config(sim::DatasetKind::sentiment_like);
+  cfg.attack = sim::AttackKind::collapois;
+  cfg.defense = def;
+  cfg.alpha = alpha;
+  cfg.compromised_fraction = bench::paper_fraction(level);
+  for (auto _ : state) {
+    const sim::ExperimentResult r = sim::run_experiment(cfg);
+    Row row;
+    row.label = std::string(defense::defense_name(def)) + " c=" + level +
+                " a=" + std::to_string(alpha);
+    row.all_sr = r.population.attack_sr;
+    row.top1_sr = metrics::average_top_k(r.final_evals, 1).attack_sr;
+    row.top25_sr = metrics::average_top_k(r.final_evals, 25).attack_sr;
+    row.top50_sr = metrics::average_top_k(r.final_evals, 50).attack_sr;
+    row.benign_ac = r.population.benign_ac;
+    rows().push_back(row);
+    state.counters["top25_sr"] = row.top25_sr;
+    bench::report_counters(state, r);
+  }
+}
+
+void register_all() {
+  for (const char* level : {"0.1%", "0.5%"}) {
+    for (defense::DefenseKind def :
+         {defense::DefenseKind::none, defense::DefenseKind::dp,
+          defense::DefenseKind::norm_bound}) {
+      for (double alpha : {0.01, 1.0, 100.0}) {
+        const std::string name = std::string("fig10/c") + level + "/" +
+                                 defense::defense_name(def) + "/alpha" +
+                                 std::to_string(alpha);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [level = std::string(level), def, alpha](benchmark::State& s) {
+              run_point(s, level, def, alpha);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kSecond);
+      }
+    }
+  }
+}
+
+void print_table() {
+  std::cout << "== Figs. 10/17/19/21/23 — top-k%% infected clients "
+               "(Sentiment, CollaPois) ==\n";
+  std::cout << std::left << std::setw(36) << "series" << std::right
+            << std::setw(10) << "benign_ac" << std::setw(9) << "all_sr"
+            << std::setw(9) << "top1" << std::setw(9) << "top25"
+            << std::setw(9) << "top50" << "\n";
+  for (const auto& r : rows()) {
+    std::cout << std::left << std::setw(36) << r.label << std::right
+              << std::fixed << std::setprecision(3) << std::setw(10)
+              << r.benign_ac << std::setw(9) << r.all_sr << std::setw(9)
+              << r.top1_sr << std::setw(9) << r.top25_sr << std::setw(9)
+              << r.top50_sr << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "(paper shape: top-1 >= top-25 >= top-50 >= all; the top-25%% "
+               "tail stays heavily infected even at 0.1-0.5%% compromised)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  benchmark::Shutdown();
+  return 0;
+}

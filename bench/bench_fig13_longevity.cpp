@@ -1,0 +1,93 @@
+// Fig. 13 — Benign AC and Attack SR as a function of training round
+// (FEMNIST, alpha = 0.01, 1% compromised): CollaPois converges fast and
+// holds; MRepl spikes abruptly (the detectable shift) ; DPois and DBA
+// build slowly.
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace collapois;
+
+struct Point {
+  std::size_t round;
+  double benign_ac;
+  double attack_sr;
+};
+
+std::map<std::string, std::vector<Point>>& curves() {
+  static std::map<std::string, std::vector<Point>> c;
+  return c;
+}
+
+void run_point(benchmark::State& state, sim::AttackKind attack) {
+  sim::ExperimentConfig cfg =
+      bench::base_config(sim::DatasetKind::femnist_like);
+  cfg.attack = attack;
+  // The paper plots alpha = 0.01; at simulator scale that regime hits the
+  // auxiliary class-coverage artifact (see EXPERIMENTS.md, Fig. 15 note)
+  // and every attack's trajectory is dominated by it, so the longevity
+  // comparison is run at the next diversity level.
+  cfg.alpha = 0.1;
+  cfg.compromised_fraction = bench::paper_fraction("1%");
+  cfg.eval_every = 20;
+  cfg.eval_max_clients = 30;  // per-round tracking on a client subsample
+  for (auto _ : state) {
+    const sim::ExperimentResult r = sim::run_experiment(cfg);
+    auto& curve = curves()[sim::attack_name(attack)];
+    for (const auto& rec : r.rounds) {
+      if (rec.population.has_value()) {
+        curve.push_back({rec.round, rec.population->benign_ac,
+                         rec.population->attack_sr});
+      }
+    }
+    bench::report_counters(state, r);
+  }
+}
+
+void register_all() {
+  for (sim::AttackKind attack :
+       {sim::AttackKind::collapois, sim::AttackKind::mrepl,
+        sim::AttackKind::dpois, sim::AttackKind::dba}) {
+    const std::string name =
+        std::string("fig13/") + sim::attack_name(attack);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [attack](benchmark::State& s) { run_point(s, attack); })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+void print_table() {
+  std::cout << "== Fig. 13 — Benign AC / Attack SR vs round (FEMNIST, "
+               "alpha=0.1, 1% compromised) ==\n";
+  for (const auto& [attack, curve] : curves()) {
+    std::cout << "-- " << attack << " --\n";
+    std::cout << std::right << std::setw(8) << "round" << std::setw(12)
+              << "benign_ac" << std::setw(12) << "attack_sr" << "\n";
+    for (const auto& p : curve) {
+      std::cout << std::right << std::setw(8) << p.round << std::fixed
+                << std::setprecision(4) << std::setw(12) << p.benign_ac
+                << std::setw(12) << p.attack_sr << "\n";
+      std::cout.unsetf(std::ios::fixed);
+    }
+  }
+  std::cout << "(paper shape: CollaPois rises quickly after the strike and "
+               "stays high; MRepl shows abrupt jumps; DPois/DBA climb "
+               "slowly)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  benchmark::Shutdown();
+  return 0;
+}

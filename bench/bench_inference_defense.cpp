@@ -1,0 +1,153 @@
+// Section II-B claim check: "warping techniques enable Trojans to evade
+// commonly used detection methods like Neural Cleanse, Fine-Pruning, and
+// STRIP". Two centrally-trained Trojaned models — one with the WaNet-
+// style warp trigger, one with a BadNets-style patch — are put through
+// all three inference-time detectors. The patch backdoor should be
+// caught; the warp backdoor should slip through.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/trojan_trainer.h"
+#include "data/synthetic_image.h"
+#include "defense/inference_detect.h"
+#include "nn/eval.h"
+#include "nn/zoo.h"
+#include "trojan/patch_trigger.h"
+#include "trojan/poison.h"
+#include "trojan/warp_trigger.h"
+
+namespace {
+
+using namespace collapois;
+
+struct Row {
+  std::string trigger;
+  double clean_ac;
+  double attack_sr;
+  double strip_detection;
+  double strip_entropy_gap;
+  double prune16_sr;       // backdoor survival after pruning 16/32 units
+  double prune16_ac;
+  double nc_anomaly;
+  int nc_flagged;
+};
+
+std::vector<Row>& rows() {
+  static std::vector<Row> r;
+  return r;
+}
+
+void run_point(benchmark::State& state, const std::string& name,
+               const trojan::Trigger& trigger, bool poison) {
+  stats::Rng rng(55);
+  data::SyntheticImageGenerator gen({}, 56);
+  std::vector<std::size_t> counts(10, 40);
+  const data::Dataset train = gen.generate(counts, rng);
+  std::vector<std::size_t> eval_counts(10, 15);
+  const data::Dataset clean_eval = gen.generate(eval_counts, rng);
+  const data::Dataset trojan_eval =
+      trojan::apply_trigger_all(clean_eval, trigger, 0);
+
+  nn::Model m = nn::make_lenet_small({});
+  m.init(rng);
+  core::TrojanTrainConfig tcfg;
+  if (!poison) tcfg.poison_fraction = 0.0;  // clean-model control
+  const auto trained =
+      core::train_trojaned_model(std::move(m), train, trigger, tcfg, rng);
+  nn::Model model = nn::make_lenet_small({});
+  model.set_parameters(trained.x);
+
+  for (auto _ : state) {
+    Row row;
+    row.trigger = name;
+    row.clean_ac = nn::accuracy(model, clean_eval);
+    row.attack_sr = nn::accuracy(model, trojan_eval);
+
+    const defense::StripReport strip = defense::strip_evaluate(
+        model, clean_eval, trojan_eval, train, {}, rng);
+    row.strip_detection = strip.detection_rate;
+    row.strip_entropy_gap =
+        strip.clean_entropy_mean - strip.trojan_entropy_mean;
+
+    const auto sweep = defense::fine_prune_sweep(
+        model, clean_eval, clean_eval, trojan_eval, {16});
+    row.prune16_sr = sweep[0].attack_sr;
+    row.prune16_ac = sweep[0].clean_accuracy;
+
+    const defense::CleanseReport nc =
+        defense::neural_cleanse(model, clean_eval, {}, rng);
+    row.nc_anomaly = nc.anomaly_index;
+    row.nc_flagged = nc.flagged_class;
+
+    rows().push_back(row);
+    state.counters["strip_detection"] = row.strip_detection;
+    state.counters["nc_anomaly"] = row.nc_anomaly;
+  }
+}
+
+void register_all() {
+  static const trojan::WarpTrigger warp({}, 57);
+  static const trojan::PatchTrigger patch =
+      trojan::PatchTrigger::global_dba(16, 16);
+  benchmark::RegisterBenchmark(
+      "inference_defense/clean_control",
+      [](benchmark::State& s) {
+        // Un-poisoned model, probed with the warp trigger: the detectors'
+        // false-alarm baseline on this substrate.
+        run_point(s, "none (control)", warp, false);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kSecond);
+  benchmark::RegisterBenchmark(
+      "inference_defense/warp",
+      [](benchmark::State& s) { run_point(s, "warp (WaNet)", warp, true); })
+      ->Iterations(1)
+      ->Unit(benchmark::kSecond);
+  benchmark::RegisterBenchmark(
+      "inference_defense/patch",
+      [](benchmark::State& s) {
+        run_point(s, "patch (BadNets)", patch, true);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kSecond);
+}
+
+void print_table() {
+  std::cout << "== Inference-time detection: warp vs patch backdoors ==\n";
+  std::cout << std::left << std::setw(18) << "trigger" << std::right
+            << std::setw(9) << "ac" << std::setw(9) << "sr" << std::setw(12)
+            << "STRIP_det" << std::setw(12) << "STRIP_gap" << std::setw(12)
+            << "prune16_sr" << std::setw(12) << "NC_anomaly" << std::setw(9)
+            << "NC_cls" << "\n";
+  for (const auto& r : rows()) {
+    std::cout << std::left << std::setw(18) << r.trigger << std::right
+              << std::fixed << std::setprecision(3) << std::setw(9)
+              << r.clean_ac << std::setw(9) << r.attack_sr << std::setw(12)
+              << r.strip_detection << std::setw(12) << r.strip_entropy_gap
+              << std::setw(12) << r.prune16_sr << std::setw(12)
+              << r.nc_anomaly << std::setw(9) << r.nc_flagged << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout
+      << "(the cited WaNet claim is that the warp trigger evades all three "
+         "while the patch is caught. Measured at this 16x16 synthetic "
+         "scale: STRIP's clean baseline is 0 and it flags BOTH backdoors — "
+         "blending does not destroy the warp signature on smooth prototype "
+         "images the way it does on natural images; Neural Cleanse's "
+         "anomaly index is unreliable here (the clean control also scores "
+         "above the 2.0 threshold). The warp-evasion property is an "
+         "artifact of high-dimensional natural-image statistics that this "
+         "substrate intentionally does not model — see EXPERIMENTS.md.)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Client-level risk audit (the paper's headline methodology, Figs. 11-12):
+// which benign clients does a CollaPois campaign actually infect, at what
+// Attack SR, and why?
+//
+// Runs CollaPois under a DP defense, then:
+//  - prints the per-client (Benign AC, Attack SR) scatter,
+//  - groups clients into disjoint top-1% / 25% / 50% / bottom risk
+//    clusters (Eq. 8),
+//  - relates each cluster's risk to the proximity of its label
+//    distribution to the attacker's auxiliary data (Eq. 9).
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "sim/report.h"
+#include "sim/runner.h"
+
+int main() {
+  using namespace collapois;
+
+  sim::ExperimentConfig cfg;
+  cfg.dataset = sim::DatasetKind::femnist_like;
+  cfg.algorithm = sim::AlgorithmKind::fedavg;
+  cfg.attack = sim::AttackKind::collapois;
+  cfg.defense = defense::DefenseKind::dp;
+  cfg.alpha = 0.1;
+  cfg.seed = 11;
+
+  std::cout << "Running: " << sim::experiment_tag(cfg) << "\n\n";
+  const sim::ExperimentResult result = sim::run_experiment(cfg);
+
+  // Per-client scatter (Fig. 11): sorted by score so the infected tail is
+  // visible at the top.
+  auto evals = result.final_evals;
+  std::sort(evals.begin(), evals.end(),
+            [](const auto& a, const auto& b) { return a.score() > b.score(); });
+  std::cout << "== per-client metrics (sorted by Eq. 8 score) ==\n";
+  std::cout << std::left << std::setw(8) << "client" << std::right
+            << std::setw(6) << "role" << std::setw(12) << "benign_ac"
+            << std::setw(12) << "attack_sr" << "\n";
+  for (const auto& e : evals) {
+    if (!e.has_test_data) continue;
+    std::cout << std::left << std::setw(8) << e.client_index << std::right
+              << std::setw(6) << (e.compromised ? "COMP" : "ok") << std::fixed
+              << std::setprecision(4) << std::setw(12) << e.benign_ac
+              << std::setw(12) << e.attack_sr << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "\n";
+
+  sim::print_clusters(std::cout,
+                      "risk clusters and label-distribution proximity (CS_k)",
+                      result.clusters);
+
+  std::cout << "\nReading: clusters with higher CS_k (label distributions "
+               "closer to the attacker's auxiliary data) should show higher "
+               "Attack SR — the paper's Fig. 12 relationship.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Quickstart: run the CollaPois attack against FedAvg on the synthetic
+// FEMNIST-like federation and print population + cluster metrics.
+//
+// This is the smallest end-to-end use of the library's public API:
+//   1. describe the experiment in an ExperimentConfig;
+//   2. run it;
+//   3. read out Benign AC / Attack SR at the population and client level.
+#include <iostream>
+
+#include "sim/report.h"
+#include "sim/runner.h"
+
+int main() {
+  using namespace collapois;
+
+  sim::ExperimentConfig cfg;
+  cfg.dataset = sim::DatasetKind::femnist_like;
+  cfg.algorithm = sim::AlgorithmKind::fedavg;
+  cfg.attack = sim::AttackKind::collapois;
+  cfg.defense = defense::DefenseKind::none;
+  cfg.alpha = 0.1;  // strongly non-IID
+  cfg.seed = 7;
+
+  std::cout << "Running: " << sim::experiment_tag(cfg) << "\n";
+  const sim::ExperimentResult result = sim::run_experiment(cfg);
+
+  std::vector<sim::SeriesRow> rows;
+  rows.push_back({"population (benign clients)", result.population.benign_ac,
+                  result.population.attack_sr});
+  sim::print_series(std::cout, "CollaPois vs FedAvg (no defense)", rows);
+  sim::print_clusters(std::cout, "client risk clusters", result.clusters);
+
+  std::cout << "compromised clients: " << result.compromised_ids.size()
+            << " of " << cfg.n_clients << "\n";
+  std::cout << "final ||theta - X||: "
+            << result.rounds.back().distance_to_x << "\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Theory explorer: evaluate the paper's three theorems numerically,
+// without running a full federation.
+//
+//  - Theorem 1: how the required fraction of compromised clients falls as
+//    benign gradients scatter (the Fig. 5 surface, printed as a table);
+//  - the Hoeffding error of the attacker's |C| estimate vs sample count;
+//  - Theorem 2: the distance-to-X bound for different psi lower ends a;
+//  - Theorem 3: estimation-error bounds for a synthetic round.
+#include <iomanip>
+#include <iostream>
+
+#include "core/theory.h"
+#include "stats/rng.h"
+
+int main() {
+  using namespace collapois;
+  namespace theory = core::theory;
+
+  std::cout << "== Theorem 1: required |C|/|N| over (mu, sigma), psi ~ "
+               "U[0.9, 1.0] ==\n";
+  std::cout << std::setw(8) << "mu\\sig";
+  const double sigmas[] = {0.1, 0.3, 0.5, 0.7, 0.9};
+  for (double s : sigmas) std::cout << std::setw(10) << s;
+  std::cout << "\n";
+  for (double mu = 0.2; mu <= 1.41; mu += 0.2) {
+    std::cout << std::fixed << std::setprecision(2) << std::setw(8) << mu;
+    for (double s : sigmas) {
+      std::cout << std::setprecision(4) << std::setw(10)
+                << theory::theorem1_fraction(mu, s, 0.9, 1.0);
+    }
+    std::cout << "\n";
+  }
+  std::cout.unsetf(std::ios::fixed);
+
+  std::cout << "\n== Attacker's Hoeffding half-width on E[beta^2] (95% "
+               "confidence) ==\n";
+  for (std::size_t n : {10UL, 50UL, 100UL, 500UL, 1000UL}) {
+    std::cout << "  n=" << std::setw(5) << n << "  eps="
+              << theory::theorem1_hoeffding_halfwidth(n, 0.05) << "\n";
+  }
+
+  std::cout << "\n== Theorem 2: ||theta - X|| bound, ||delta||=1, "
+               "||zeta||=0.01 ==\n";
+  for (double a : {0.5, 0.7, 0.9, 0.95, 0.99}) {
+    std::cout << "  a=" << a
+              << "  bound=" << theory::theorem2_distance_bound(a, 1.0, 0.01)
+              << "\n";
+  }
+
+  std::cout << "\n== Theorem 3: estimation-error bounds (synthetic round) "
+               "==\n";
+  stats::Rng rng(3);
+  const std::size_t dim = 64;
+  tensor::FlatVec x(dim);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  std::vector<tensor::FlatVec> detected;
+  for (int c = 0; c < 3; ++c) {
+    tensor::FlatVec u(dim);
+    for (auto& v : u) v = static_cast<float>(rng.normal(0.0, 0.1));
+    detected.push_back(u);
+  }
+  std::vector<tensor::FlatVec> models;
+  for (int i = 0; i < 20; ++i) {
+    tensor::FlatVec m = x;
+    for (auto& v : m) v = static_cast<float>(v + rng.normal(0.0, 0.5));
+    models.push_back(m);
+  }
+  const auto bounds =
+      theory::theorem3_error_bounds(detected, 1.0, 3, 1.0, models, x);
+  std::cout << "  lower=" << bounds.lower << "  upper=" << bounds.upper
+            << "\n";
+  std::cout << "  (lower <= upper: " << (bounds.lower <= bounds.upper)
+            << ")\n";
+  return 0;
+}

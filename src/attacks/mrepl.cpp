@@ -1,0 +1,56 @@
+#include "attacks/mrepl.h"
+
+#include <stdexcept>
+
+namespace collapois::attacks {
+
+MReplClient::MReplClient(std::size_t id, tensor::FlatVec trojaned_model,
+                         MReplConfig config,
+                         std::unique_ptr<fl::Client> dormant_behavior)
+    : id_(id),
+      x_(std::move(trojaned_model)),
+      config_(config),
+      dormant_(std::move(dormant_behavior)) {
+  if (x_.empty() && !dormant_) {
+    throw std::invalid_argument(
+        "MReplClient: need a Trojaned model or a dormant behaviour");
+  }
+  if (config_.boost <= 0.0) {
+    throw std::invalid_argument("MReplClient: boost must be > 0");
+  }
+}
+
+void MReplClient::set_trojaned_model(tensor::FlatVec x) {
+  if (x.empty()) throw std::invalid_argument("set_trojaned_model: empty");
+  x_ = std::move(x);
+}
+
+fl::ClientUpdate MReplClient::compute_update(const fl::RoundContext& ctx) {
+  if (!armed()) {
+    fl::ClientUpdate u = dormant_->compute_update(ctx);
+    u.client_id = id_;
+    return u;
+  }
+  if (ctx.global.size() != x_.size()) {
+    throw std::invalid_argument("MReplClient: dimension mismatch");
+  }
+  fl::ClientUpdate u;
+  u.client_id = id_;
+  u.delta = tensor::sub(ctx.global, x_);
+  tensor::scale_inplace(u.delta, config_.boost);
+  if (config_.clip > 0.0) tensor::clip_l2_inplace(u.delta, config_.clip);
+  u.weight = 1.0;
+  return u;
+}
+
+void MReplClient::distill_round(nn::Model& personal, nn::Model& teacher) {
+  if (!armed()) {
+    dormant_->distill_round(personal, teacher);
+    return;
+  }
+  // Under cyclic distillation the strongest replacement available is to
+  // serve the Trojaned model itself as this client's "personal" model.
+  personal.set_parameters(x_);
+}
+
+}  // namespace collapois::attacks

@@ -1,0 +1,49 @@
+// MRepl baseline [9]: model replacement. The attacker pre-trains a
+// Trojaned model and, when sampled, submits a boosted update designed to
+// replace the aggregate with that model — the "one-shot" backdoor. The
+// boost factor approximates |S_t| / lambda so that after averaging the
+// global model lands on (or near) the Trojaned model; the resulting jump
+// in model behaviour is exactly the abrupt shift the paper notes makes
+// MRepl detectable (Fig. 13).
+#pragma once
+
+#include "fl/client.h"
+
+namespace collapois::attacks {
+
+struct MReplConfig {
+  // Multiplier applied to (theta^t - X); classic MRepl uses the expected
+  // number of sampled clients divided by the server learning rate.
+  double boost = 10.0;
+  // Optional L2 clip of the transmitted update (0 disables). A clipped
+  // MRepl is the "constrain-and-scale" variant.
+  double clip = 0.0;
+};
+
+class MReplClient : public fl::Client {
+ public:
+  // Pass an empty `trojaned_model` plus a `dormant_behavior` to create a
+  // dormant client that acts benignly until set_trojaned_model() arms it
+  // (the attacker waits for warmup rounds before striking).
+  MReplClient(std::size_t id, tensor::FlatVec trojaned_model,
+              MReplConfig config,
+              std::unique_ptr<fl::Client> dormant_behavior = nullptr);
+
+  std::size_t id() const override { return id_; }
+  bool is_compromised() const override { return true; }
+  fl::ClientUpdate compute_update(const fl::RoundContext& ctx) override;
+  void distill_round(nn::Model& personal, nn::Model& teacher) override;
+
+  void set_trojaned_model(tensor::FlatVec x);
+  bool armed() const { return !x_.empty(); }
+
+  const tensor::FlatVec& trojaned_model() const { return x_; }
+
+ private:
+  std::size_t id_;
+  tensor::FlatVec x_;
+  MReplConfig config_;
+  std::unique_ptr<fl::Client> dormant_;
+};
+
+}  // namespace collapois::attacks

@@ -1,0 +1,101 @@
+#include "core/collapois_client.h"
+
+#include <stdexcept>
+
+#include "stats/geometry.h"
+
+namespace collapois::core {
+
+CollaPoisClient::CollaPoisClient(std::size_t id,
+                                 tensor::FlatVec trojaned_model,
+                                 CollaPoisConfig config, stats::Rng rng,
+                                 std::unique_ptr<fl::Client> dormant_behavior)
+    : id_(id),
+      x_(std::move(trojaned_model)),
+      config_(config),
+      rng_(std::move(rng)),
+      dormant_(std::move(dormant_behavior)) {
+  if (x_.empty() && !dormant_) {
+    throw std::invalid_argument(
+        "CollaPoisClient: need a Trojaned model or a dormant behaviour");
+  }
+  if (!(config_.psi_a > 0.0 && config_.psi_a < config_.psi_b &&
+        config_.psi_b <= 1.0)) {
+    throw std::invalid_argument(
+        "CollaPoisClient: psi range must satisfy 0 < a < b <= 1");
+  }
+  if (config_.clip < 0.0 || config_.tau < 0.0) {
+    throw std::invalid_argument("CollaPoisClient: negative clip/tau");
+  }
+  if (config_.blend_fraction < 0.0 || config_.blend_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "CollaPoisClient: blend_fraction must be in [0, 1)");
+  }
+  if ((config_.blend_fraction > 0.0 || config_.mimic_benign_norm) &&
+      !dormant_) {
+    throw std::invalid_argument(
+        "CollaPoisClient: blending needs a dormant behaviour to sample the "
+        "clean-gradient background");
+  }
+}
+
+void CollaPoisClient::set_trojaned_model(tensor::FlatVec x) {
+  if (x.empty()) {
+    throw std::invalid_argument("set_trojaned_model: empty model");
+  }
+  x_ = std::move(x);
+}
+
+fl::ClientUpdate CollaPoisClient::compute_update(const fl::RoundContext& ctx) {
+  if (!armed()) {
+    fl::ClientUpdate u = dormant_->compute_update(ctx);
+    u.client_id = id_;
+    return u;
+  }
+  if (ctx.global.size() != x_.size()) {
+    throw std::invalid_argument("CollaPoisClient: dimension mismatch");
+  }
+  last_psi_ = rng_.uniform(config_.psi_a, config_.psi_b);
+
+  fl::ClientUpdate u;
+  u.client_id = id_;
+  // g_c = psi * (theta^t - X): Eq. 4 in the descent convention.
+  u.delta = tensor::sub(ctx.global, x_);
+  tensor::scale_inplace(u.delta, last_psi_);
+
+  if (config_.blend_fraction > 0.0 || config_.mimic_benign_norm) {
+    // Section IV-D: blend into the clean-gradient background.
+    const fl::ClientUpdate clean = dormant_->compute_update(ctx);
+    const double clean_norm = stats::l2_norm(clean.delta);
+    if (config_.blend_fraction > 0.0) {
+      // Mix at matched magnitude, so gamma really interpolates the
+      // *direction* between the malicious pull and the clean gradient.
+      tensor::rescale_to_norm_inplace(u.delta, clean_norm);
+      tensor::scale_inplace(u.delta, 1.0 - config_.blend_fraction);
+      tensor::axpy_inplace(u.delta, config_.blend_fraction, clean.delta);
+    }
+    if (config_.mimic_benign_norm) {
+      tensor::rescale_to_norm_inplace(u.delta, clean_norm);
+    }
+  }
+  if (config_.clip > 0.0) {
+    tensor::clip_l2_inplace(u.delta, config_.clip);
+  }
+  if (config_.tau > 0.0 && stats::l2_norm(u.delta) < config_.tau) {
+    tensor::rescale_to_norm_inplace(u.delta, config_.tau);
+  }
+  u.weight = 1.0;
+  return u;
+}
+
+void CollaPoisClient::distill_round(nn::Model& personal, nn::Model& teacher) {
+  if (!armed()) {
+    dormant_->distill_round(personal, teacher);
+    return;
+  }
+  // Under MetaFed the compromised client serves X itself, so successors in
+  // the ring distill from the Trojaned model.
+  personal.set_parameters(x_);
+}
+
+}  // namespace collapois::core

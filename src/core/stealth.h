@@ -1,0 +1,62 @@
+// Stealth tuning (Section IV-D, Fig. 6).
+//
+// The attacker wants each transmitted malicious gradient to blend into
+// the background of benign gradients: similar mean angle to a set of
+// sampled (background) gradients, similar variance, and a magnitude
+// inside the benign envelope. The attacker can only use what the threat
+// model grants: clean data held by compromised clients and the broadcast
+// global model — the background gradients are derived from those.
+#pragma once
+
+#include <vector>
+
+#include "core/collapois_client.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "nn/sgd.h"
+#include "stats/rng.h"
+#include "tensor/vecops.h"
+
+namespace collapois::core {
+
+// Clean pseudo-gradients computed from the compromised clients' datasets
+// at the current global model — the attacker's stand-in for benign
+// gradients ("sampled gradients" in Fig. 6).
+std::vector<tensor::FlatVec> sample_background_gradients(
+    const std::vector<const data::Dataset*>& clean_datasets,
+    const nn::Model& architecture, std::span<const float> global,
+    const nn::SgdConfig& sgd, stats::Rng& rng);
+
+struct BlendReport {
+  // Angle of each gradient against the mean background direction.
+  double benign_angle_mean = 0.0;
+  double benign_angle_var = 0.0;
+  double malicious_angle_mean = 0.0;
+  double malicious_angle_var = 0.0;
+  // Magnitudes.
+  double benign_norm_mean = 0.0;
+  double malicious_norm_mean = 0.0;
+};
+
+// Measure how well `malicious` blends into `background` (both
+// pseudo-gradient sets).
+BlendReport measure_blend(const std::vector<tensor::FlatVec>& background,
+                          const std::vector<tensor::FlatVec>& malicious);
+
+struct StealthChoice {
+  CollaPoisConfig config;
+  BlendReport report;
+  // |mean angle gap| + |variance gap| the search minimized.
+  double objective = 0.0;
+};
+
+// Grid-search psi ranges [a, b] and the shared clip bound A so that the
+// malicious gradients psi (theta - X) match the background's angle mean,
+// variance, and magnitude. `candidate_ranges` are (a, b) pairs.
+StealthChoice tune_stealth(
+    const std::vector<tensor::FlatVec>& background,
+    std::span<const float> global, std::span<const float> x,
+    const std::vector<std::pair<double, double>>& candidate_ranges,
+    std::size_t samples_per_range, stats::Rng& rng);
+
+}  // namespace collapois::core

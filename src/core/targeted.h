@@ -1,0 +1,85 @@
+// Targeted, "semi-ready" CollaPois — the escalation sketched in the
+// paper's Discussion ("Attack Perspective"): instead of poisoning the
+// whole federation, the attacker
+//
+//   1. identifies high-value clients by the proximity of their label
+//      distributions to the auxiliary data (the same Eq. 9 cosine that
+//      explains infection risk in Fig. 12),
+//   2. trains a Trojaned model X specialized toward the target cohort's
+//      data mix (auxiliary data re-weighted to approximate the targets'
+//      behaviour), and
+//   3. keeps compromised clients dormant until the aggregated updates
+//      over recent rounds show the target cohort's participation pattern
+//      (the global drift aligns with the cohort's gradient direction),
+//      activating only then — boosting both precision and stealth.
+#pragma once
+
+#include <deque>
+
+#include "core/collapois_client.h"
+#include "data/dataset.h"
+#include "stats/rng.h"
+#include "tensor/vecops.h"
+
+namespace collapois::core {
+
+// Rank client indices by the Eq. 9 cumulative-label cosine between their
+// histograms and the reference (auxiliary) histogram, descending; returns
+// the top `fraction` of them — the attacker's high-value cohort.
+std::vector<std::size_t> select_high_value_targets(
+    const std::vector<std::vector<double>>& client_histograms,
+    std::span<const double> reference_histogram, double fraction);
+
+// Re-weight the auxiliary data toward a target label distribution:
+// resamples D_a (with replacement) so its label histogram matches
+// `target_histogram`, producing the training set for a cohort-specialized
+// Trojaned model.
+data::Dataset reweight_to_distribution(
+    const data::Dataset& auxiliary, std::span<const double> target_histogram,
+    std::size_t output_size, stats::Rng& rng);
+
+struct SemiReadyConfig {
+  // Cosine between the observed global drift and the target direction
+  // above which a round counts as "target cohort active".
+  double activation_cosine = 0.1;
+  // Number of signal rounds (within the sliding window) required to arm.
+  std::size_t required_signals = 2;
+  std::size_t window = 8;
+};
+
+// A CollaPois client that activates itself: while observing broadcast
+// models it accumulates the drift theta^t - theta^{t-1}; once the drift
+// has aligned with `target_direction` often enough, it arms the wrapped
+// attack (which must already hold the specialized X). Until then it
+// behaves benignly via the wrapped client's dormant mode.
+class SemiReadyClient : public fl::Client {
+ public:
+  // `attack` must be a dormant-capable CollaPoisClient; `specialized_x`
+  // is installed at activation time. `target_direction` is the attacker's
+  // estimate of the cohort's gradient direction (descent convention).
+  SemiReadyClient(std::unique_ptr<CollaPoisClient> attack,
+                  tensor::FlatVec specialized_x,
+                  tensor::FlatVec target_direction, SemiReadyConfig config);
+
+  std::size_t id() const override { return attack_->id(); }
+  bool is_compromised() const override { return true; }
+  fl::ClientUpdate compute_update(const fl::RoundContext& ctx) override;
+  void distill_round(nn::Model& personal, nn::Model& teacher) override;
+
+  bool activated() const { return activated_; }
+  std::size_t signals_observed() const { return signals_; }
+
+ private:
+  void observe(std::span<const float> global);
+
+  std::unique_ptr<CollaPoisClient> attack_;
+  tensor::FlatVec x_;
+  tensor::FlatVec target_direction_;
+  SemiReadyConfig config_;
+  tensor::FlatVec last_global_;
+  std::deque<bool> window_;
+  std::size_t signals_ = 0;
+  bool activated_ = false;
+};
+
+}  // namespace collapois::core

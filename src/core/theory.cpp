@@ -1,0 +1,144 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/geometry.h"
+#include "stats/summary.h"
+#include "stats/tests.h"
+
+namespace collapois::core::theory {
+
+AngleStats estimate_angle_stats(const std::vector<tensor::FlatVec>& gradients,
+                                std::span<const float> reference) {
+  if (gradients.empty()) {
+    throw std::invalid_argument("estimate_angle_stats: no gradients");
+  }
+  const auto angles = stats::angles_to_reference(gradients, reference);
+  AngleStats s;
+  s.mu = stats::mean(angles);
+  s.sigma = stats::stddev(angles);
+  s.count = angles.size();
+  return s;
+}
+
+double theorem1_fraction(double mu, double sigma, double a, double b) {
+  if (!(a > 0.0 && a < b && b <= 1.0)) {
+    throw std::invalid_argument("theorem1_fraction: need 0 < a < b <= 1");
+  }
+  if (2.0 - sigma * sigma - mu * mu <= 0.0) return 0.0;
+  return std::clamp(theorem1_fraction_raw(mu, sigma, a, b), 0.0, 1.0);
+}
+
+double theorem1_fraction_raw(double mu, double sigma, double a, double b) {
+  if (!(a > 0.0 && a < b && b <= 1.0)) {
+    throw std::invalid_argument("theorem1_fraction: need 0 < a < b <= 1");
+  }
+  const double numer = 2.0 - sigma * sigma - mu * mu;
+  const double denom = a + b + numer;
+  if (denom == 0.0) return numer >= 0.0 ? 1.0 : -1.0;
+  return numer / denom;
+}
+
+std::size_t theorem1_min_compromised(double mu, double sigma, double a,
+                                     double b, std::size_t n) {
+  const double frac = theorem1_fraction(mu, sigma, a, b);
+  return static_cast<std::size_t>(
+      std::ceil(frac * static_cast<double>(n) - 1e-9));
+}
+
+double theorem1_relative_error(const AngleStats& estimated,
+                               const AngleStats& exact, double a, double b,
+                               std::size_t n) {
+  const double c_hat = theorem1_fraction(estimated.mu, estimated.sigma, a, b) *
+                       static_cast<double>(n);
+  const double c = theorem1_fraction(exact.mu, exact.sigma, a, b) *
+                   static_cast<double>(n);
+  if (c <= 0.0) {
+    // Both bounds degenerate: error is 0 iff the estimate also hit 0.
+    return c_hat <= 0.0 ? 0.0 : 1.0;
+  }
+  return std::fabs(c_hat - c) / c;
+}
+
+double theorem1_hoeffding_halfwidth(std::size_t n_samples, double delta) {
+  // beta^2 lives in [0, pi^2]; the sample-mean deviation bound follows
+  // from Hoeffding on that range.
+  return stats::hoeffding_eps(n_samples, delta, 0.0, M_PI * M_PI);
+}
+
+double theorem2_distance_bound(double a, double delta_norm,
+                               double zeta_norm) {
+  if (!(a > 0.0 && a <= 1.0)) {
+    throw std::invalid_argument("theorem2_distance_bound: need 0 < a <= 1");
+  }
+  if (delta_norm < 0.0 || zeta_norm < 0.0) {
+    throw std::invalid_argument("theorem2_distance_bound: negative norms");
+  }
+  return (1.0 / a - 1.0) * delta_norm + zeta_norm;
+}
+
+Theorem2Check theorem2_check(std::span<const float> global,
+                             std::span<const float> x, double a,
+                             double delta_norm, double zeta_norm) {
+  Theorem2Check c;
+  c.distance = stats::l2_distance(global, x);
+  c.bound = theorem2_distance_bound(a, delta_norm, zeta_norm);
+  return c;
+}
+
+Theorem3Bounds theorem3_error_bounds(
+    const std::vector<tensor::FlatVec>& detected_updates, double p,
+    std::size_t c_total, double b,
+    const std::vector<tensor::FlatVec>& client_models,
+    std::span<const float> x) {
+  if (!(p > 0.0 && p <= 1.0) || !(b > 0.0 && b <= 1.0) || c_total == 0) {
+    throw std::invalid_argument("theorem3_error_bounds: bad parameters");
+  }
+  Theorem3Bounds out;
+
+  // Lower bound: || sum_{c in C-bar} delta_c / (p |C| b) ||.
+  if (!detected_updates.empty()) {
+    tensor::FlatVec acc = tensor::zeros(detected_updates[0].size());
+    for (const auto& u : detected_updates) tensor::axpy_inplace(acc, 1.0, u);
+    const double scale = 1.0 / (p * static_cast<double>(c_total) * b);
+    out.lower = stats::l2_norm(acc) * scale;
+  }
+
+  // Upper bound: the greedy farthest-|C| surrogate of
+  // max_{|L| = |C|} || mean_{i in L} theta_i - X ||.
+  if (!client_models.empty()) {
+    std::vector<std::size_t> order(client_models.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> dist(client_models.size());
+    for (std::size_t i = 0; i < client_models.size(); ++i) {
+      dist[i] = stats::l2_distance(client_models[i], x);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) { return dist[i] > dist[j]; });
+    const std::size_t take = std::min(c_total, client_models.size());
+    tensor::FlatVec mean = tensor::zeros(client_models[0].size());
+    for (std::size_t k = 0; k < take; ++k) {
+      tensor::axpy_inplace(mean, 1.0 / static_cast<double>(take),
+                           client_models[order[k]]);
+    }
+    out.upper = stats::l2_distance(mean, x);
+    // The farthest single model's distance dominates the subset-mean
+    // distance; report the larger of the two so the interval is safe.
+    if (take > 0) out.upper = std::max(out.upper, dist[order[0]]);
+  }
+  return out;
+}
+
+double estimation_error(const std::vector<tensor::FlatVec>& believed_models,
+                        std::span<const float> x) {
+  if (believed_models.empty()) {
+    throw std::invalid_argument("estimation_error: empty set");
+  }
+  const tensor::FlatVec mean = tensor::mean_of(believed_models);
+  return stats::l2_distance(mean, x);
+}
+
+}  // namespace collapois::core::theory

@@ -1,0 +1,106 @@
+// The paper's theoretical results, as executable code:
+//
+//  - Theorem 1 (Eq. 5): lower bound on the number of compromised clients
+//    |C| needed for a successful poisoning round, as a function of the
+//    benign-gradient angle statistics (mu_alpha, sigma) and the psi range
+//    [a, b]; plus the attacker-side estimator of those statistics and the
+//    Hoeffding analysis of its approximation error (Fig. 4).
+//  - Theorem 2 (Eq. 6): bound on ||theta^t - X||.
+//  - Theorem 3 (Eq. 7): bounds on the server's estimation error of X.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/vecops.h"
+
+namespace collapois::core::theory {
+
+// ------------------------------------------------------------- Theorem 1
+
+// Angle statistics of benign pseudo-gradients against the aggregated
+// malicious direction: beta_i ~ N(mu, sigma^2) in the theorem's model.
+struct AngleStats {
+  double mu = 0.0;     // mean angle (radians)
+  double sigma = 0.0;  // standard deviation (radians)
+  std::size_t count = 0;
+};
+
+// Compute (mu, sigma) of the angles between each gradient and the
+// reference direction.
+AngleStats estimate_angle_stats(const std::vector<tensor::FlatVec>& gradients,
+                                std::span<const float> reference);
+
+// Eq. 5 as a fraction of the population:
+//   |C|/|N| >= (2 - sigma^2 - mu^2) / (a + b + 2 - sigma^2 - mu^2).
+// Clamped to [0, 1]; when 2 - sigma^2 - mu^2 <= 0 the benign gradients
+// are already too scattered to resist and the bound is 0.
+double theorem1_fraction(double mu, double sigma, double a, double b);
+
+// The unclamped value of the same expression (may be negative when
+// benign gradients are highly scattered, i.e. mu^2 + sigma^2 > 2).
+// Useful for comparing an estimate against the exact statistic without
+// the clamp collapsing both to 0 (Fig. 4's relative-error analysis at
+// simulator scale).
+double theorem1_fraction_raw(double mu, double sigma, double a, double b);
+
+// The bound as a client count (ceiling), for a population of size n.
+std::size_t theorem1_min_compromised(double mu, double sigma, double a,
+                                     double b, std::size_t n);
+
+// Relative approximation error |(\hat C - C)| / C between the bound
+// computed from the attacker's estimated angle stats and from the true
+// (all-benign-clients) stats — the quantity plotted in Fig. 4.
+double theorem1_relative_error(const AngleStats& estimated,
+                               const AngleStats& exact, double a, double b,
+                               std::size_t n);
+
+// Hoeffding half-width on the attacker's estimate of E[beta^2] from
+// `n_samples` angle observations at confidence 1 - delta (angles live in
+// [0, pi]).
+double theorem1_hoeffding_halfwidth(std::size_t n_samples, double delta);
+
+// ------------------------------------------------------------- Theorem 2
+
+// Eq. 6: ||theta^t - X|| <= (1/a - 1) * ||delta_c^{t'}|| + ||zeta||.
+double theorem2_distance_bound(double a, double delta_norm, double zeta_norm);
+
+// Empirical check data: the actual distance vs the bound for a round.
+struct Theorem2Check {
+  double distance = 0.0;  // ||theta^t - X||
+  double bound = 0.0;
+  bool holds() const { return distance <= bound + 1e-6; }
+};
+
+Theorem2Check theorem2_check(std::span<const float> global,
+                             std::span<const float> x, double a,
+                             double delta_norm, double zeta_norm);
+
+// ------------------------------------------------------------- Theorem 3
+
+struct Theorem3Bounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+// Eq. 7. `detected_updates` are the updates of the compromised clients the
+// server correctly identified (the C-bar set, detection precision p);
+// `client_models` are candidate local models theta_i the server could
+// average; `x` is the true Trojaned model. The upper bound maximizes
+// ||mean(theta_i, i in L) - X|| over subsets L of size |C|; we use the
+// greedy surrogate of taking the |C| models farthest from X, which upper
+// bounds the mean-distance of any size-|C| subset built the same way and
+// matches the paper's qualitative use of the bound.
+Theorem3Bounds theorem3_error_bounds(
+    const std::vector<tensor::FlatVec>& detected_updates, double p,
+    std::size_t c_total, double b,
+    const std::vector<tensor::FlatVec>& client_models,
+    std::span<const float> x);
+
+// The server's actual estimation error ||X' - X|| where
+// X' = mean of the models it believes are compromised.
+double estimation_error(const std::vector<tensor::FlatVec>& believed_models,
+                        std::span<const float> x);
+
+}  // namespace collapois::core::theory

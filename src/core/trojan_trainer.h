@@ -1,0 +1,50 @@
+// Centralized training of the shared Trojaned model X (Algorithm 1 line 3,
+// Eq. 1):
+//
+//   X = argmin_theta L(theta, D_a union D_a^Troj)
+//
+// where D_a is the auxiliary data pooled from the compromised clients
+// (the paper uses their combined validation sets) and D_a^Troj is its
+// trigger-poisoned, target-relabeled copy. X learns both the legitimate
+// task (stealthiness property 1 of Section IV-D) and the backdoor.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "nn/sgd.h"
+#include "stats/rng.h"
+#include "tensor/vecops.h"
+#include "trojan/trigger.h"
+
+namespace collapois::core {
+
+struct TrojanTrainConfig {
+  int target_label = 0;
+  // Fraction of the auxiliary data duplicated in trojaned form; Eq. 1
+  // uses the full union.
+  double poison_fraction = 1.0;
+  // The attacker trains X to convergence centrally (it has no round
+  // budget); 40 epochs reach ~95% clean accuracy and ~100% trigger
+  // activation on auxiliary sets of >= 60 samples.
+  nn::SgdConfig sgd{.learning_rate = 0.05, .batch_size = 16, .epochs = 40};
+};
+
+struct TrojanTrainResult {
+  tensor::FlatVec x;          // the Trojaned model's parameters
+  double final_loss = 0.0;    // training loss of the last epoch
+};
+
+// Trains `model` (architecture + initialization supplied by the caller,
+// matching the global model's structure) on D_a union D_a^Troj.
+TrojanTrainResult train_trojaned_model(nn::Model model,
+                                       const data::Dataset& auxiliary,
+                                       const trojan::Trigger& trigger,
+                                       const TrojanTrainConfig& config,
+                                       stats::Rng& rng);
+
+// Pool the validation sets of the compromised clients into the auxiliary
+// dataset D_a (Section V, data configuration).
+data::Dataset pool_auxiliary_data(
+    const std::vector<const data::Dataset*>& validation_sets);
+
+}  // namespace collapois::core

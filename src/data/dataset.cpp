@@ -1,0 +1,90 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace collapois::data {
+
+void Dataset::append(const Dataset& other) {
+  if (num_classes_ == 0) num_classes_ = other.num_classes_;
+  if (other.num_classes_ != num_classes_) {
+    throw std::invalid_argument("Dataset::append: class count mismatch");
+  }
+  examples_.insert(examples_.end(), other.examples_.begin(),
+                   other.examples_.end());
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(num_classes_);
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.add(examples_.at(i));
+  return out;
+}
+
+std::vector<double> Dataset::label_histogram() const {
+  std::vector<double> hist(num_classes_, 0.0);
+  for (const auto& e : examples_) {
+    if (e.label < 0 || static_cast<std::size_t>(e.label) >= num_classes_) {
+      throw std::logic_error("Dataset: label out of range");
+    }
+    hist[static_cast<std::size_t>(e.label)] += 1.0;
+  }
+  return hist;
+}
+
+std::vector<double> Dataset::cumulative_label_distribution() const {
+  std::vector<double> cl = label_histogram();
+  for (std::size_t j = 1; j < cl.size(); ++j) cl[j] += cl[j - 1];
+  return cl;
+}
+
+ClientSplit split_client_data(const Dataset& d, stats::Rng& rng,
+                              double train_frac, double test_frac) {
+  if (train_frac <= 0.0 || test_frac < 0.0 || train_frac + test_frac > 1.0) {
+    throw std::invalid_argument("split_client_data: bad fractions");
+  }
+  std::vector<std::size_t> idx(d.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+
+  const std::size_t n = d.size();
+  std::size_t n_train = static_cast<std::size_t>(
+      static_cast<double>(n) * train_frac);
+  std::size_t n_test =
+      static_cast<std::size_t>(static_cast<double>(n) * test_frac);
+  if (n > 0 && n_train == 0) n_train = 1;
+  if (n_train + n_test > n) n_test = n - n_train;
+
+  ClientSplit s;
+  s.train = d.subset(std::span<const std::size_t>(idx.data(), n_train));
+  s.test = d.subset(
+      std::span<const std::size_t>(idx.data() + n_train, n_test));
+  s.validation = d.subset(std::span<const std::size_t>(
+      idx.data() + n_train + n_test, n - n_train - n_test));
+  return s;
+}
+
+Batch make_batch(const Dataset& d, std::span<const std::size_t> indices) {
+  if (indices.empty()) throw std::invalid_argument("make_batch: empty batch");
+  const auto& first = d[indices[0]].x;
+  std::vector<std::size_t> shape;
+  shape.push_back(indices.size());
+  for (std::size_t dim : first.shape()) shape.push_back(dim);
+
+  Batch batch;
+  batch.x = Tensor(shape);
+  batch.labels.resize(indices.size());
+  const std::size_t stride = first.size();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto& e = d[indices[i]];
+    if (e.x.size() != stride) {
+      throw std::invalid_argument("make_batch: heterogeneous example shapes");
+    }
+    std::copy(e.x.data().begin(), e.x.data().end(),
+              batch.x.data().begin() + static_cast<std::ptrdiff_t>(i * stride));
+    batch.labels[i] = e.label;
+  }
+  return batch;
+}
+
+}  // namespace collapois::data

@@ -1,0 +1,84 @@
+// Dataset containers and label-distribution utilities.
+//
+// A Dataset is an in-memory list of (tensor, label) examples with a fixed
+// class count. Client-side splits (70/15/15 train/test/val, Section V) and
+// the cumulative label distribution of Eq. 9 live here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+#include "tensor/tensor.h"
+
+namespace collapois::data {
+
+using tensor::Tensor;
+
+struct Example {
+  Tensor x;
+  int label = 0;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t num_classes) : num_classes_(num_classes) {}
+
+  std::size_t size() const { return examples_.size(); }
+  bool empty() const { return examples_.empty(); }
+  std::size_t num_classes() const { return num_classes_; }
+
+  const Example& operator[](std::size_t i) const { return examples_.at(i); }
+  Example& operator[](std::size_t i) { return examples_.at(i); }
+
+  void add(Example e) { examples_.push_back(std::move(e)); }
+  void reserve(std::size_t n) { examples_.reserve(n); }
+
+  // Append every example of `other` (class counts must agree).
+  void append(const Dataset& other);
+
+  // Dataset restricted to the given indices.
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  // Count of examples per label, length num_classes().
+  std::vector<double> label_histogram() const;
+
+  // Cumulative label distribution P_CL (Eq. 9): prefix sums of the label
+  // histogram, i.e. N_j = sum_{q <= j} N_q.
+  std::vector<double> cumulative_label_distribution() const;
+
+  auto begin() const { return examples_.begin(); }
+  auto end() const { return examples_.end(); }
+
+ private:
+  std::size_t num_classes_ = 0;
+  std::vector<Example> examples_;
+};
+
+// 70/15/15 train/test/validation split of one client's local data
+// (shuffled with the provided rng). Small datasets degrade gracefully:
+// every example lands in exactly one split and train is never empty when
+// the input is non-empty.
+struct ClientSplit {
+  Dataset train;
+  Dataset test;
+  Dataset validation;
+};
+
+ClientSplit split_client_data(const Dataset& d, stats::Rng& rng,
+                              double train_frac = 0.70,
+                              double test_frac = 0.15);
+
+// Assemble a mini-batch: stacks the examples at `indices` into one tensor
+// whose first dimension is the batch, plus the label vector. All examples
+// must share a shape.
+struct Batch {
+  Tensor x;
+  std::vector<int> labels;
+};
+
+Batch make_batch(const Dataset& d, std::span<const std::size_t> indices);
+
+}  // namespace collapois::data

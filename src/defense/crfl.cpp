@@ -1,0 +1,42 @@
+#include "defense/crfl.h"
+
+#include <stdexcept>
+
+#include "stats/special.h"
+
+namespace collapois::defense {
+
+CrflAggregator::CrflAggregator(CrflConfig config,
+                               std::unique_ptr<fl::Aggregator> inner,
+                               stats::Rng rng)
+    : config_(config), inner_(std::move(inner)), rng_(std::move(rng)) {
+  if (!inner_) throw std::invalid_argument("CrflAggregator: null inner");
+  if (config_.param_clip <= 0.0 || config_.noise_std < 0.0) {
+    throw std::invalid_argument("CrflAggregator: bad config");
+  }
+}
+
+tensor::FlatVec CrflAggregator::aggregate(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> global) {
+  return inner_->aggregate(updates, global);
+}
+
+void CrflAggregator::post_update(tensor::FlatVec& params) {
+  tensor::clip_l2_inplace(params, config_.param_clip);
+  if (config_.noise_std > 0.0) {
+    for (auto& v : params) {
+      v = static_cast<float>(v + rng_.normal(0.0, config_.noise_std));
+    }
+  }
+}
+
+double CrflAggregator::certified_radius(double vote_margin) const {
+  if (vote_margin <= 0.5 || vote_margin >= 1.0) {
+    throw std::invalid_argument(
+        "certified_radius: vote margin must be in (0.5, 1)");
+  }
+  return config_.noise_std * stats::normal_quantile(vote_margin);
+}
+
+}  // namespace collapois::defense

@@ -1,0 +1,44 @@
+// CRFL (Xie et al., ICML'21): certifiably robust FL via model smoothness
+// — after every aggregation the *global model parameters* are clipped to
+// an L2 ball and perturbed with Gaussian noise, yielding a certified
+// robustness radius against bounded model perturbations.
+//
+// In this library CRFL is an Aggregator with a post_update hook (the
+// Server applies it to the parameters after each round); the certified
+// radius for a given perturbation budget follows the Gaussian-smoothing
+// argument radius = sigma * Phi^{-1}(p) for a vote margin p.
+#pragma once
+
+#include "fl/aggregator.h"
+#include "stats/rng.h"
+
+namespace collapois::defense {
+
+struct CrflConfig {
+  // L2 bound on the global parameter vector.
+  double param_clip = 10.0;
+  // Std of the Gaussian noise added to every parameter after clipping.
+  double noise_std = 0.005;
+};
+
+class CrflAggregator : public fl::Aggregator {
+ public:
+  CrflAggregator(CrflConfig config, std::unique_ptr<fl::Aggregator> inner,
+                 stats::Rng rng);
+
+  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
+                            std::span<const float> global) override;
+  void post_update(tensor::FlatVec& params) override;
+  std::string name() const override { return "crfl"; }
+
+  // Certified L2 radius around the smoothed model for a majority-vote
+  // margin p in (0.5, 1): radius = noise_std * Phi^{-1}(p).
+  double certified_radius(double vote_margin) const;
+
+ private:
+  CrflConfig config_;
+  std::unique_ptr<fl::Aggregator> inner_;
+  stats::Rng rng_;
+};
+
+}  // namespace collapois::defense

@@ -1,0 +1,73 @@
+#include "defense/detector.h"
+
+#include <stdexcept>
+
+#include "stats/geometry.h"
+
+namespace collapois::defense {
+
+std::vector<UpdateFeatures> extract_features(
+    const std::vector<fl::ClientUpdate>& updates) {
+  if (updates.empty()) {
+    throw std::invalid_argument("extract_features: no updates");
+  }
+  std::vector<tensor::FlatVec> deltas;
+  deltas.reserve(updates.size());
+  for (const auto& u : updates) deltas.push_back(u.delta);
+  const tensor::FlatVec mean = tensor::mean_of(deltas);
+
+  std::vector<UpdateFeatures> out;
+  out.reserve(updates.size());
+  for (const auto& u : updates) {
+    UpdateFeatures f;
+    f.angle_to_mean = stats::angle_between(u.delta, mean);
+    f.norm = stats::l2_norm(u.delta);
+    out.push_back(f);
+  }
+  return out;
+}
+
+bool DetectionReport::distinguishable() const {
+  return angle_t.significant_at_05() || angle_levene.significant_at_05() ||
+         angle_ks.significant_at_05() || norm_t.significant_at_05() ||
+         norm_levene.significant_at_05() || norm_ks.significant_at_05();
+}
+
+DetectionReport analyze_round(const std::vector<fl::ClientUpdate>& updates,
+                              const std::vector<bool>& compromised) {
+  if (updates.size() != compromised.size()) {
+    throw std::invalid_argument("analyze_round: flag size mismatch");
+  }
+  const auto features = extract_features(updates);
+
+  std::vector<double> benign_angle;
+  std::vector<double> malicious_angle;
+  std::vector<double> benign_norm;
+  std::vector<double> malicious_norm;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (compromised[i]) {
+      malicious_angle.push_back(features[i].angle_to_mean);
+      malicious_norm.push_back(features[i].norm);
+    } else {
+      benign_angle.push_back(features[i].angle_to_mean);
+      benign_norm.push_back(features[i].norm);
+    }
+  }
+
+  DetectionReport r;
+  if (benign_angle.size() >= 2 && malicious_angle.size() >= 2) {
+    r.angle_t = stats::welch_t_test(malicious_angle, benign_angle);
+    r.angle_levene = stats::levene_test(malicious_angle, benign_angle);
+    r.angle_ks = stats::ks_test(malicious_angle, benign_angle);
+    r.norm_t = stats::welch_t_test(malicious_norm, benign_norm);
+    r.norm_levene = stats::levene_test(malicious_norm, benign_norm);
+    r.norm_ks = stats::ks_test(malicious_norm, benign_norm);
+  }
+  if (!benign_angle.empty() && !malicious_angle.empty()) {
+    r.three_sigma_rate =
+        stats::three_sigma_outlier_rate(benign_angle, malicious_angle);
+  }
+  return r;
+}
+
+}  // namespace collapois::defense

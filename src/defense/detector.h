@@ -1,0 +1,48 @@
+// Statistical update-anomaly detection (the MESAS-style [22] analysis the
+// paper's "Bypassing Defenses" paragraph evaluates against): per-update
+// angle and magnitude features, compared between suspected-malicious and
+// benign populations with Welch's t-test, Levene's variance test, the
+// two-sample Kolmogorov-Smirnov test, and the 3-sigma outlier rule.
+#pragma once
+
+#include <vector>
+
+#include "fl/update.h"
+#include "stats/tests.h"
+
+namespace collapois::defense {
+
+// Scalar features of one update relative to the round's population.
+struct UpdateFeatures {
+  double angle_to_mean = 0.0;  // radians vs the mean update direction
+  double norm = 0.0;           // L2 magnitude
+};
+
+std::vector<UpdateFeatures> extract_features(
+    const std::vector<fl::ClientUpdate>& updates);
+
+struct DetectionReport {
+  // Tests on the angle feature (malicious vs benign groups).
+  stats::TestResult angle_t;
+  stats::TestResult angle_levene;
+  stats::TestResult angle_ks;
+  // Tests on the magnitude feature.
+  stats::TestResult norm_t;
+  stats::TestResult norm_levene;
+  stats::TestResult norm_ks;
+  // Fraction of malicious updates outside the benign 3-sigma envelope
+  // (angle feature) — the paper reports ~3.5% for CollaPois.
+  double three_sigma_rate = 0.0;
+
+  // True when any test rejects at the 5% level (the defender would flag
+  // the malicious population).
+  bool distinguishable() const;
+};
+
+// Compare the two populations' features. Both groups need >= 2 members
+// for the tests; with fewer the report comes back all-pass (the defender
+// has no statistical power), mirroring the tiny-|C| regime.
+DetectionReport analyze_round(const std::vector<fl::ClientUpdate>& updates,
+                              const std::vector<bool>& compromised);
+
+}  // namespace collapois::defense

@@ -1,0 +1,57 @@
+#include "defense/flare.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/geometry.h"
+
+namespace collapois::defense {
+
+FlareAggregator::FlareAggregator(FlareConfig config) : config_(config) {
+  if (config_.temperature <= 0.0) {
+    throw std::invalid_argument("FlareAggregator: temperature must be > 0");
+  }
+}
+
+tensor::FlatVec FlareAggregator::aggregate(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> /*global*/) {
+  if (updates.empty()) {
+    throw std::invalid_argument("FlareAggregator: no updates");
+  }
+  const std::size_t n = updates.size();
+  if (n == 1) {
+    trust_.assign(1, 1.0);
+    return updates[0].delta;
+  }
+
+  // Mean pairwise distance of each update to the others.
+  std::vector<double> mean_dist(n, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d =
+          stats::l2_distance(updates[i].delta, updates[j].delta);
+      mean_dist[i] += d;
+      mean_dist[j] += d;
+    }
+  }
+  for (auto& d : mean_dist) d /= static_cast<double>(n - 1);
+
+  // Softmax(-dist / T) trust scores, shifted for stability.
+  double min_dist = mean_dist[0];
+  for (double d : mean_dist) min_dist = std::min(min_dist, d);
+  trust_.assign(n, 0.0);
+  double z = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trust_[i] = std::exp(-(mean_dist[i] - min_dist) / config_.temperature);
+    z += trust_[i];
+  }
+  for (auto& t : trust_) t /= z;
+
+  std::vector<tensor::FlatVec> deltas;
+  deltas.reserve(n);
+  for (const auto& u : updates) deltas.push_back(u.delta);
+  return tensor::weighted_mean_of(deltas, trust_);
+}
+
+}  // namespace collapois::defense

@@ -1,0 +1,35 @@
+// FLARE (Wang et al., ASIACCS'22): estimate a trust score for each model
+// update from the differences between all pairs of updates, then
+// aggregate updates weighted by trust. The original work compares latent
+// -space representations; the simulator applies the same trust mechanism
+// in update space (see DESIGN.md substitutions): updates far from the
+// crowd earn exponentially less weight.
+#pragma once
+
+#include "fl/aggregator.h"
+
+namespace collapois::defense {
+
+struct FlareConfig {
+  // Temperature of the softmax over negative mean pairwise distances;
+  // smaller = sharper down-weighting of outliers.
+  double temperature = 1.0;
+};
+
+class FlareAggregator : public fl::Aggregator {
+ public:
+  explicit FlareAggregator(FlareConfig config);
+
+  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
+                            std::span<const float> global) override;
+  std::string name() const override { return "flare"; }
+
+  // Trust scores of the last round (parallel to its update list).
+  const std::vector<double>& last_trust() const { return trust_; }
+
+ private:
+  FlareConfig config_;
+  std::vector<double> trust_;
+};
+
+}  // namespace collapois::defense

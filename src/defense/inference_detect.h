@@ -1,0 +1,96 @@
+// Inference-time Trojan detection — the Section II-C category (1)
+// defenses the paper says WaNet-style warping evades (Neural Cleanse
+// [26], Fine-Pruning [27], STRIP [28]). Implemented so the claim is
+// checkable: the companion bench shows a patch (BadNets) backdoor being
+// caught by all three while the warp backdoor slips through.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "stats/rng.h"
+
+namespace collapois::defense {
+
+// ------------------------------------------------------------------ STRIP
+
+// STRIP's observation: superimposing a trojaned input with clean images
+// leaves the trigger (hence the target prediction) intact, so the
+// prediction entropy across perturbations stays abnormally LOW; a clean
+// input's blends are ambiguous and high-entropy.
+struct StripConfig {
+  // Number of clean overlays per probe.
+  std::size_t n_overlays = 16;
+  // Blend weight of the overlay image.
+  double overlay_weight = 0.5;
+};
+
+// Mean prediction entropy of `x` blended with random samples from
+// `overlay_pool` (nats).
+double strip_entropy(nn::Model& model, const tensor::Tensor& x,
+                     const data::Dataset& overlay_pool,
+                     const StripConfig& config, stats::Rng& rng);
+
+struct StripReport {
+  double clean_entropy_mean = 0.0;
+  double trojan_entropy_mean = 0.0;
+  // Fraction of trojaned probes below the clean population's 1st
+  // percentile (the STRIP detection rule with a 1% FPR budget).
+  double detection_rate = 0.0;
+};
+
+// Evaluate STRIP separation between clean probes and trojaned probes.
+StripReport strip_evaluate(nn::Model& model, const data::Dataset& clean,
+                           const data::Dataset& trojaned,
+                           const data::Dataset& overlay_pool,
+                           const StripConfig& config, stats::Rng& rng);
+
+// ----------------------------------------------------------- Fine-Pruning
+
+// Fine-Pruning: neurons dormant on clean data are suspected trigger
+// carriers; zero them (here: units of the penultimate Dense layer) in
+// ascending clean-activation order.
+struct PruneResult {
+  std::size_t pruned_units = 0;
+  double clean_accuracy = 0.0;
+  double attack_sr = 0.0;
+};
+
+// Prune the `n_prune` least-activated hidden units of the LAST hidden
+// Dense layer (measured on `clean`), returning the pruned model.
+nn::Model fine_prune(const nn::Model& model, const data::Dataset& clean,
+                     std::size_t n_prune);
+
+// Sweep pruning levels and report accuracy / backdoor survival at each.
+std::vector<PruneResult> fine_prune_sweep(
+    const nn::Model& model, const data::Dataset& clean,
+    const data::Dataset& clean_eval, const data::Dataset& trojan_eval,
+    const std::vector<std::size_t>& prune_levels);
+
+// --------------------------------------------------------- Neural Cleanse
+
+// Neural Cleanse: for every candidate target class, optimize a minimal
+// input perturbation (mask m, pattern p) that flips clean inputs to that
+// class: x' = (1 - m) * x + m * p, minimizing CE + lambda * ||m||_1.
+// A patch-backdoored class admits an abnormally small mask; the anomaly
+// index is the MAD-normalized deviation of the smallest mask norm.
+struct CleanseConfig {
+  std::size_t steps = 200;
+  double lr = 2.0;
+  double mask_l1_weight = 0.05;
+  std::size_t batch = 24;
+};
+
+struct CleanseReport {
+  // Optimized L1 mask norm per class.
+  std::vector<double> mask_norms;
+  // MAD anomaly index of the smallest mask (Neural Cleanse flags > 2).
+  double anomaly_index = 0.0;
+  int flagged_class = -1;  // argmin mask norm
+};
+
+CleanseReport neural_cleanse(nn::Model model, const data::Dataset& clean,
+                             const CleanseConfig& config, stats::Rng& rng);
+
+}  // namespace collapois::defense

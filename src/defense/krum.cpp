@@ -1,0 +1,75 @@
+#include "defense/krum.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/geometry.h"
+
+namespace collapois::defense {
+
+KrumAggregator::KrumAggregator(KrumConfig config) : config_(config) {
+  if (config_.multi_k == 0) {
+    throw std::invalid_argument("KrumAggregator: multi_k must be >= 1");
+  }
+}
+
+tensor::FlatVec KrumAggregator::aggregate(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> /*global*/) {
+  if (updates.empty()) {
+    throw std::invalid_argument("KrumAggregator: no updates");
+  }
+  const std::size_t n = updates.size();
+  if (n == 1) {
+    selected_ = {0};
+    return updates[0].delta;
+  }
+
+  // Pairwise squared distances.
+  std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = stats::l2_distance(updates[i].delta, updates[j].delta);
+      d2[i][j] = d2[j][i] = d * d;
+    }
+  }
+
+  // Krum score: sum over the closest n - f - 2 neighbours.
+  const std::size_t f = config_.assumed_byzantine;
+  const std::size_t neighbours =
+      (n > f + 2) ? (n - f - 2) : 1;
+  std::vector<double> score(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row;
+    row.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) row.push_back(d2[i][j]);
+    }
+    std::sort(row.begin(), row.end());
+    const std::size_t take = std::min(neighbours, row.size());
+    score[i] = std::accumulate(row.begin(),
+                               row.begin() + static_cast<std::ptrdiff_t>(take),
+                               0.0);
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return score[i] < score[j]; });
+
+  const std::size_t take = std::min(config_.multi_k, n);
+  selected_.assign(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(take));
+
+  std::vector<tensor::FlatVec> chosen;
+  chosen.reserve(take);
+  for (std::size_t idx : selected_) chosen.push_back(updates[idx].delta);
+  return tensor::mean_of(chosen);
+}
+
+std::string KrumAggregator::name() const {
+  return config_.multi_k == 1 ? "krum" : "multi-krum";
+}
+
+}  // namespace collapois::defense

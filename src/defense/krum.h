@@ -1,0 +1,35 @@
+// Krum and Multi-Krum (Blanchard et al., NeurIPS'17): score each update by
+// the sum of squared distances to its n - f - 2 nearest neighbours and
+// keep the best-scoring one (Krum) or average the best m (Multi-Krum).
+#pragma once
+
+#include "fl/aggregator.h"
+
+namespace collapois::defense {
+
+struct KrumConfig {
+  // Assumed number of Byzantine clients f. The neighbour count per score
+  // is max(1, n - f - 2).
+  std::size_t assumed_byzantine = 1;
+  // Number of top-scoring updates averaged; 1 = classic Krum.
+  std::size_t multi_k = 1;
+};
+
+class KrumAggregator : public fl::Aggregator {
+ public:
+  explicit KrumAggregator(KrumConfig config);
+
+  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
+                            std::span<const float> global) override;
+  std::string name() const override;
+
+  // Indices (into the last round's update list) Krum selected, for
+  // detection-precision analyses.
+  const std::vector<std::size_t>& last_selected() const { return selected_; }
+
+ private:
+  KrumConfig config_;
+  std::vector<std::size_t> selected_;
+};
+
+}  // namespace collapois::defense

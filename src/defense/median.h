@@ -1,0 +1,31 @@
+// Coordinate-wise robust statistics (Yin et al., ICML'18): the
+// element-wise median and the alpha-trimmed mean of the round's updates.
+#pragma once
+
+#include "fl/aggregator.h"
+
+namespace collapois::defense {
+
+// theta_j = median_i(delta_i[j]) for every coordinate j.
+class CoordMedianAggregator : public fl::Aggregator {
+ public:
+  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
+                            std::span<const float> global) override;
+  std::string name() const override { return "coord-median"; }
+};
+
+// Per coordinate, drop the largest and smallest `trim_fraction` of values
+// and average the rest.
+class TrimmedMeanAggregator : public fl::Aggregator {
+ public:
+  explicit TrimmedMeanAggregator(double trim_fraction);
+
+  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
+                            std::span<const float> global) override;
+  std::string name() const override { return "trimmed-mean"; }
+
+ private:
+  double trim_fraction_;
+};
+
+}  // namespace collapois::defense

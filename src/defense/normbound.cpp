@@ -1,0 +1,69 @@
+#include "defense/normbound.h"
+
+#include <stdexcept>
+
+namespace collapois::defense {
+
+namespace {
+
+std::vector<fl::ClientUpdate> clip_updates(
+    const std::vector<fl::ClientUpdate>& updates, double clip) {
+  std::vector<fl::ClientUpdate> out = updates;
+  for (auto& u : out) tensor::clip_l2_inplace(u.delta, clip);
+  return out;
+}
+
+}  // namespace
+
+NormBoundAggregator::NormBoundAggregator(NormBoundConfig config,
+                                         std::unique_ptr<fl::Aggregator> inner,
+                                         stats::Rng rng)
+    : config_(config), inner_(std::move(inner)), rng_(std::move(rng)) {
+  if (!inner_) throw std::invalid_argument("NormBoundAggregator: null inner");
+  if (config_.clip <= 0.0) {
+    throw std::invalid_argument("NormBoundAggregator: clip must be > 0");
+  }
+}
+
+tensor::FlatVec NormBoundAggregator::aggregate(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> global) {
+  const auto clipped = clip_updates(updates, config_.clip);
+  tensor::FlatVec agg = inner_->aggregate(clipped, global);
+  if (config_.noise_std > 0.0) {
+    for (auto& v : agg) {
+      v = static_cast<float>(v + rng_.normal(0.0, config_.noise_std));
+    }
+  }
+  return agg;
+}
+
+DpAggregator::DpAggregator(DpConfig config,
+                           std::unique_ptr<fl::Aggregator> inner,
+                           stats::Rng rng)
+    : config_(config), inner_(std::move(inner)), rng_(std::move(rng)) {
+  if (!inner_) throw std::invalid_argument("DpAggregator: null inner");
+  if (config_.clip <= 0.0 || config_.noise_multiplier < 0.0) {
+    throw std::invalid_argument("DpAggregator: bad config");
+  }
+}
+
+tensor::FlatVec DpAggregator::aggregate(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> global) {
+  const auto clipped = clip_updates(updates, config_.clip);
+  tensor::FlatVec agg = inner_->aggregate(clipped, global);
+  const double sigma =
+      config_.user_level
+          ? config_.noise_multiplier * config_.clip
+          : config_.noise_multiplier * config_.clip /
+                static_cast<double>(updates.size());
+  if (sigma > 0.0) {
+    for (auto& v : agg) {
+      v = static_cast<float>(v + rng_.normal(0.0, sigma));
+    }
+  }
+  return agg;
+}
+
+}  // namespace collapois::defense

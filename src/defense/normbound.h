@@ -1,0 +1,65 @@
+// Magnitude-based defenses:
+//  - NormBound [10]: clip every client update to a fixed L2 bound, then
+//    average and optionally add Gaussian noise;
+//  - DP-optimizer [33]: the same clip-then-noise pipeline with the noise
+//    calibrated as sigma * clip / n (the Gaussian-mechanism scaling used
+//    for differentially private FL).
+// Both decorate an inner aggregator (FedAvg by default) so they compose
+// with the rest of Table I.
+#pragma once
+
+#include <memory>
+
+#include "fl/aggregator.h"
+#include "stats/rng.h"
+
+namespace collapois::defense {
+
+struct NormBoundConfig {
+  // L2 clip applied to every incoming update.
+  double clip = 1.0;
+  // Std-dev of Gaussian noise added to each coordinate of the aggregate
+  // (absolute scale); 0 disables.
+  double noise_std = 0.0;
+};
+
+class NormBoundAggregator : public fl::Aggregator {
+ public:
+  NormBoundAggregator(NormBoundConfig config,
+                      std::unique_ptr<fl::Aggregator> inner, stats::Rng rng);
+
+  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
+                            std::span<const float> global) override;
+  std::string name() const override { return "norm-bound"; }
+
+ private:
+  NormBoundConfig config_;
+  std::unique_ptr<fl::Aggregator> inner_;
+  stats::Rng rng_;
+};
+
+struct DpConfig {
+  double clip = 1.0;
+  // Noise multiplier z: per-coordinate noise std is z * clip / n_updates.
+  double noise_multiplier = 1.0;
+  // User-level DP [48]: calibrate the noise to the full per-user
+  // sensitivity (sigma = z * clip, not divided by the participant count).
+  bool user_level = false;
+};
+
+class DpAggregator : public fl::Aggregator {
+ public:
+  DpAggregator(DpConfig config, std::unique_ptr<fl::Aggregator> inner,
+               stats::Rng rng);
+
+  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
+                            std::span<const float> global) override;
+  std::string name() const override { return "dp"; }
+
+ private:
+  DpConfig config_;
+  std::unique_ptr<fl::Aggregator> inner_;
+  stats::Rng rng_;
+};
+
+}  // namespace collapois::defense

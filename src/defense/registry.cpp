@@ -1,0 +1,137 @@
+#include "defense/registry.h"
+
+#include <stdexcept>
+
+#include "defense/crfl.h"
+#include "defense/flare.h"
+#include "defense/krum.h"
+#include "defense/median.h"
+#include "defense/normbound.h"
+#include "defense/rlr.h"
+
+namespace collapois::defense {
+
+std::unique_ptr<fl::Aggregator> make_defense(DefenseKind kind,
+                                             const DefenseParams& params,
+                                             stats::Rng rng) {
+  switch (kind) {
+    case DefenseKind::none:
+      return std::make_unique<fl::FedAvgAggregator>();
+    case DefenseKind::dp:
+      return std::make_unique<DpAggregator>(
+          DpConfig{params.clip, params.noise_multiplier, false},
+          std::make_unique<fl::FedAvgAggregator>(), std::move(rng));
+    case DefenseKind::user_dp:
+      return std::make_unique<DpAggregator>(
+          DpConfig{params.clip, params.noise_multiplier, true},
+          std::make_unique<fl::FedAvgAggregator>(), std::move(rng));
+    case DefenseKind::norm_bound:
+      return std::make_unique<NormBoundAggregator>(
+          NormBoundConfig{params.clip, params.noise_std},
+          std::make_unique<fl::FedAvgAggregator>(), std::move(rng));
+    case DefenseKind::krum:
+      return std::make_unique<KrumAggregator>(
+          KrumConfig{params.assumed_byzantine, 1});
+    case DefenseKind::multi_krum:
+      return std::make_unique<KrumAggregator>(
+          KrumConfig{params.assumed_byzantine, params.multi_k});
+    case DefenseKind::coord_median:
+      return std::make_unique<CoordMedianAggregator>();
+    case DefenseKind::trimmed_mean:
+      return std::make_unique<TrimmedMeanAggregator>(params.trim_fraction);
+    case DefenseKind::rlr:
+      return std::make_unique<RlrAggregator>(RlrConfig{params.rlr_threshold});
+    case DefenseKind::sign_sgd:
+      return std::make_unique<SignSgdAggregator>(
+          SignSgdConfig{params.sign_step});
+    case DefenseKind::flare:
+      return std::make_unique<FlareAggregator>(
+          FlareConfig{params.flare_temperature});
+    case DefenseKind::crfl:
+      return std::make_unique<CrflAggregator>(
+          CrflConfig{params.crfl_param_clip, params.crfl_noise_std},
+          std::make_unique<fl::FedAvgAggregator>(), std::move(rng));
+    case DefenseKind::ditto:
+      // Ditto is a client-side personalization defense: the aggregate is
+      // plain FedAvg and the runner swaps benign clients for DittoClient.
+      return std::make_unique<fl::FedAvgAggregator>();
+  }
+  throw std::invalid_argument("make_defense: unknown kind");
+}
+
+const char* defense_name(DefenseKind kind) {
+  switch (kind) {
+    case DefenseKind::none: return "none";
+    case DefenseKind::dp: return "dp";
+    case DefenseKind::user_dp: return "userdp";
+    case DefenseKind::norm_bound: return "normbound";
+    case DefenseKind::krum: return "krum";
+    case DefenseKind::multi_krum: return "multikrum";
+    case DefenseKind::coord_median: return "median";
+    case DefenseKind::trimmed_mean: return "trimmedmean";
+    case DefenseKind::rlr: return "rlr";
+    case DefenseKind::sign_sgd: return "signsgd";
+    case DefenseKind::flare: return "flare";
+    case DefenseKind::crfl: return "crfl";
+    case DefenseKind::ditto: return "ditto";
+  }
+  return "unknown";
+}
+
+DefenseKind parse_defense(const std::string& name) {
+  if (name == "none") return DefenseKind::none;
+  if (name == "dp") return DefenseKind::dp;
+  if (name == "normbound") return DefenseKind::norm_bound;
+  if (name == "krum") return DefenseKind::krum;
+  if (name == "multikrum") return DefenseKind::multi_krum;
+  if (name == "median") return DefenseKind::coord_median;
+  if (name == "trimmedmean") return DefenseKind::trimmed_mean;
+  if (name == "rlr") return DefenseKind::rlr;
+  if (name == "signsgd") return DefenseKind::sign_sgd;
+  if (name == "userdp") return DefenseKind::user_dp;
+  if (name == "flare") return DefenseKind::flare;
+  if (name == "crfl") return DefenseKind::crfl;
+  if (name == "ditto") return DefenseKind::ditto;
+  throw std::invalid_argument("parse_defense: unknown defense '" + name + "'");
+}
+
+std::vector<DefenseInfo> defense_registry() {
+  return {
+      {DefenseKind::krum, "Robust Aggregation", "Krum / Multi-Krum [42]",
+       "Score each update by closeness to its neighbours; keep the best "
+       "(or average the top m)",
+       false},
+      {DefenseKind::coord_median, "Robust Aggregation", "Median GD [32]",
+       "Element-wise median as the aggregated update", false},
+      {DefenseKind::trimmed_mean, "Robust Aggregation", "Trim Mean GD [32]",
+       "Drop the top/bottom beta fraction per coordinate; average the rest",
+       false},
+      {DefenseKind::sign_sgd, "Robust Aggregation", "SignSGD [43]",
+       "Per-coordinate majority vote on update signs", false},
+      {DefenseKind::rlr, "Robust Aggregation", "Robust Learning Rate [44]",
+       "Count sign agreement per coordinate; flip the learning rate where "
+       "agreement is below threshold",
+       false},
+      {DefenseKind::ditto, "Robust Aggregation", "Ditto [45]",
+       "Fine-tune the potentially corrupt global model on each client's "
+       "private data",
+       false},
+      {DefenseKind::norm_bound, "Model Smoothness", "Norm Bound [10]",
+       "Clip update magnitudes; add Gaussian noise", true},
+      {DefenseKind::crfl, "Model Smoothness", "CRFL [46]",
+       "Clip model parameters after every round; add noise; certified "
+       "robustness radius",
+       false},
+      {DefenseKind::flare, "Model Smoothness", "FLARE [47]",
+       "Trust score per update from all pairwise differences; trust-"
+       "weighted aggregation",
+       false},
+      {DefenseKind::dp, "Differential Privacy", "DP-optimizer [33]",
+       "Clip client updates; add calibrated Gaussian noise", true},
+      {DefenseKind::user_dp, "Differential Privacy", "User-level DP [48]",
+       "Add Gaussian noise at full per-user sensitivity to model updates",
+       false},
+  };
+}
+
+}  // namespace collapois::defense

@@ -1,0 +1,70 @@
+// Defense registry: one switchboard from a DefenseKind to a configured
+// aggregator, plus the Table I taxonomy metadata. Experiments select
+// defenses by kind; the bench for Table I prints the registry.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/aggregator.h"
+#include "stats/rng.h"
+
+namespace collapois::defense {
+
+enum class DefenseKind {
+  none,          // plain FedAvg
+  dp,            // DP-optimizer (clip + calibrated noise)
+  user_dp,       // user-level DP (noise at full per-user sensitivity)
+  norm_bound,    // clip + fixed noise
+  krum,
+  multi_krum,
+  coord_median,
+  trimmed_mean,
+  rlr,
+  sign_sgd,
+  flare,         // trust-score weighted aggregation
+  crfl,          // model clipping + noise after every round
+  ditto,         // personalization defense (client-side; FedAvg aggregate)
+};
+
+// Tuning knobs shared across kinds; fields irrelevant to a kind are
+// ignored.
+struct DefenseParams {
+  double clip = 1.0;
+  double noise_std = 0.005;
+  double noise_multiplier = 0.01;
+  std::size_t assumed_byzantine = 1;
+  std::size_t multi_k = 3;
+  double trim_fraction = 0.2;
+  double rlr_threshold = 2.0;
+  double sign_step = 0.01;
+  double flare_temperature = 1.0;
+  double crfl_param_clip = 10.0;
+  double crfl_noise_std = 0.002;
+  double ditto_lambda = 0.1;
+};
+
+std::unique_ptr<fl::Aggregator> make_defense(DefenseKind kind,
+                                             const DefenseParams& params,
+                                             stats::Rng rng);
+
+const char* defense_name(DefenseKind kind);
+
+// Parse the names used by configs/benches ("none", "dp", "normbound",
+// "krum", "multikrum", "median", "trimmedmean", "rlr", "signsgd").
+DefenseKind parse_defense(const std::string& name);
+
+// Table I row.
+struct DefenseInfo {
+  DefenseKind kind;
+  std::string approach;     // robust aggregation / model smoothness / DP
+  std::string method;
+  std::string description;
+  bool applicable_to_metafed;
+};
+
+// The implemented subset of Table I, in presentation order.
+std::vector<DefenseInfo> defense_registry();
+
+}  // namespace collapois::defense

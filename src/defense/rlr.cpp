@@ -1,0 +1,72 @@
+#include "defense/rlr.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace collapois::defense {
+
+RlrAggregator::RlrAggregator(RlrConfig config) : config_(config) {
+  if (config_.threshold < 0.0) {
+    throw std::invalid_argument("RlrAggregator: negative threshold");
+  }
+}
+
+tensor::FlatVec RlrAggregator::aggregate(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> /*global*/) {
+  if (updates.empty()) {
+    throw std::invalid_argument("RlrAggregator: no updates");
+  }
+  const std::size_t m = updates[0].delta.size();
+  const std::size_t n = updates.size();
+  tensor::FlatVec out(m, 0.0f);
+  for (std::size_t j = 0; j < m; ++j) {
+    double sum = 0.0;
+    double sign_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float v = updates[i].delta[j];
+      sum += v;
+      if (v > 0.0f) {
+        sign_sum += 1.0;
+      } else if (v < 0.0f) {
+        sign_sum -= 1.0;
+      }
+    }
+    const double mean = sum / static_cast<double>(n);
+    // Flip the coordinate's learning rate when sign agreement is weak.
+    out[j] = static_cast<float>(
+        std::fabs(sign_sum) >= config_.threshold ? mean : -mean);
+  }
+  return out;
+}
+
+SignSgdAggregator::SignSgdAggregator(SignSgdConfig config) : config_(config) {
+  if (config_.step <= 0.0) {
+    throw std::invalid_argument("SignSgdAggregator: step must be > 0");
+  }
+}
+
+tensor::FlatVec SignSgdAggregator::aggregate(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> /*global*/) {
+  if (updates.empty()) {
+    throw std::invalid_argument("SignSgdAggregator: no updates");
+  }
+  const std::size_t m = updates[0].delta.size();
+  tensor::FlatVec out(m, 0.0f);
+  for (std::size_t j = 0; j < m; ++j) {
+    double sign_sum = 0.0;
+    for (const auto& u : updates) {
+      if (u.delta[j] > 0.0f) {
+        sign_sum += 1.0;
+      } else if (u.delta[j] < 0.0f) {
+        sign_sum -= 1.0;
+      }
+    }
+    out[j] = static_cast<float>(
+        config_.step * (sign_sum > 0.0 ? 1.0 : (sign_sum < 0.0 ? -1.0 : 0.0)));
+  }
+  return out;
+}
+
+}  // namespace collapois::defense

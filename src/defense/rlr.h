@@ -1,0 +1,50 @@
+// Sign-based defenses:
+//  - Robust Learning Rate (Ozdayi et al., AAAI'21): per coordinate, count
+//    how many updates agree in sign; where the |sum of signs| falls below
+//    a threshold, flip the learning rate (negate the aggregate) for that
+//    coordinate.
+//  - SignSGD with majority vote (Bernstein et al.): the aggregate is the
+//    per-coordinate sign of the summed updates, scaled by a step size.
+#pragma once
+
+#include "fl/aggregator.h"
+
+namespace collapois::defense {
+
+struct RlrConfig {
+  // Minimum |sum of update signs| for a coordinate to keep a positive
+  // learning rate. The RLR paper's theta; typically around the expected
+  // number of malicious updates + 1.
+  double threshold = 2.0;
+};
+
+class RlrAggregator : public fl::Aggregator {
+ public:
+  explicit RlrAggregator(RlrConfig config);
+
+  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
+                            std::span<const float> global) override;
+  std::string name() const override { return "rlr"; }
+
+ private:
+  RlrConfig config_;
+};
+
+struct SignSgdConfig {
+  // Step magnitude per coordinate.
+  double step = 0.01;
+};
+
+class SignSgdAggregator : public fl::Aggregator {
+ public:
+  explicit SignSgdAggregator(SignSgdConfig config);
+
+  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
+                            std::span<const float> global) override;
+  std::string name() const override { return "signsgd"; }
+
+ private:
+  SignSgdConfig config_;
+};
+
+}  // namespace collapois::defense

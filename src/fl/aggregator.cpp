@@ -1,0 +1,24 @@
+#include "fl/aggregator.h"
+
+#include <stdexcept>
+
+namespace collapois::fl {
+
+tensor::FlatVec FedAvgAggregator::aggregate(
+    const std::vector<ClientUpdate>& updates,
+    std::span<const float> /*global*/) {
+  if (updates.empty()) {
+    throw std::invalid_argument("FedAvgAggregator: no updates");
+  }
+  std::vector<tensor::FlatVec> deltas;
+  std::vector<double> weights;
+  deltas.reserve(updates.size());
+  weights.reserve(updates.size());
+  for (const auto& u : updates) {
+    deltas.push_back(u.delta);
+    weights.push_back(u.weight);
+  }
+  return tensor::weighted_mean_of(deltas, weights);
+}
+
+}  // namespace collapois::fl

@@ -1,0 +1,40 @@
+// Server-side aggregation. FedAvg lives here; every robust-training
+// defense in defense/ implements the same interface, so experiments swap
+// aggregation rules without touching the round loop (Table I's taxonomy).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fl/update.h"
+
+namespace collapois::fl {
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  // Combine the round's updates into the pseudo-gradient the server
+  // applies. `global` is theta^t (some defenses need it). Must cope with a
+  // single update.
+  virtual tensor::FlatVec aggregate(const std::vector<ClientUpdate>& updates,
+                                    std::span<const float> global) = 0;
+
+  // Hook applied to the global parameters *after* the round's update —
+  // model-smoothness defenses (CRFL) clip and perturb the model itself
+  // here. Default: no-op.
+  virtual void post_update(tensor::FlatVec& /*params*/) {}
+
+  virtual std::string name() const = 0;
+};
+
+// Plain (weighted) averaging — Algorithm 1 line 14 with uniform weights.
+class FedAvgAggregator : public Aggregator {
+ public:
+  tensor::FlatVec aggregate(const std::vector<ClientUpdate>& updates,
+                            std::span<const float> global) override;
+  std::string name() const override { return "fedavg"; }
+};
+
+}  // namespace collapois::fl

@@ -1,0 +1,31 @@
+// Uniform facade over the three federated training algorithms evaluated
+// in the paper (FedAvg, FedDC, MetaFed) so experiments, metrics, and
+// benches can run any of them interchangeably.
+#pragma once
+
+#include <string>
+
+#include "fl/server.h"
+
+namespace collapois::fl {
+
+class FlAlgorithm {
+ public:
+  virtual ~FlAlgorithm() = default;
+
+  // Execute one training round and return its telemetry. For protocols
+  // without a central aggregate (MetaFed) `updates` is empty.
+  virtual RoundTelemetry run_round() = 0;
+
+  // Current global model (for MetaFed: the mean of personal models, used
+  // only for reporting).
+  virtual tensor::FlatVec global_params() const = 0;
+
+  // The parameters client `client_index` serves predictions with.
+  virtual tensor::FlatVec client_eval_params(std::size_t client_index) = 0;
+
+  virtual std::size_t num_clients() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace collapois::fl

@@ -1,0 +1,59 @@
+// MetaFed (Chen et al., TNNLS'23): federated learning without a central
+// aggregate — clients are arranged in a ring and personalized models are
+// trained with cyclic knowledge distillation from the predecessor
+// ("common knowledge" accumulates around the ring).
+//
+// Simulator fidelity notes (see DESIGN.md):
+//  - Each round samples clients with probability q like the server
+//    protocols; sampled clients are visited in ring order and each
+//    distills from the personal model of its predecessor in that round's
+//    ring (wrapping around).
+//  - Attack clients participate through Client::distill_round, e.g. a
+//    CollaPois client pins its personal model to the Trojaned model X so
+//    every successor distills from X.
+//  - Aggregation defenses that operate on a global update vector (Krum,
+//    RLR) have no analogue here, exactly as the paper states.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fl/algorithm.h"
+#include "nn/model.h"
+
+namespace collapois::fl {
+
+struct MetaFedConfig {
+  double sample_prob = 0.01;
+  // Defense analogues at the knowledge-transfer step: after each client's
+  // distillation round, its personal-model change is L2-clipped to `clip`
+  // (0 disables) and perturbed with Gaussian noise of std `noise_std`
+  // (0 disables). This is how DP / NormBound compose with MetaFed, where
+  // no global update vector exists for the aggregation defenses.
+  double clip = 0.0;
+  double noise_std = 0.0;
+};
+
+class MetaFedAlgorithm : public FlAlgorithm {
+ public:
+  // `prototype` provides the architecture and the shared initialization
+  // for every personal model.
+  MetaFedAlgorithm(std::vector<std::unique_ptr<Client>> clients,
+                   const nn::Model& prototype, MetaFedConfig config,
+                   stats::Rng rng);
+
+  RoundTelemetry run_round() override;
+  tensor::FlatVec global_params() const override;
+  tensor::FlatVec client_eval_params(std::size_t client_index) override;
+  std::size_t num_clients() const override { return clients_.size(); }
+  std::string name() const override { return "metafed"; }
+
+ private:
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<nn::Model> personal_;
+  MetaFedConfig config_;
+  stats::Rng rng_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace collapois::fl

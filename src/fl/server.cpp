@@ -1,0 +1,57 @@
+#include "fl/server.h"
+
+#include <stdexcept>
+
+namespace collapois::fl {
+
+Server::Server(tensor::FlatVec initial_params, std::unique_ptr<Aggregator> agg,
+               ServerConfig config, stats::Rng rng)
+    : params_(std::move(initial_params)),
+      agg_(std::move(agg)),
+      config_(config),
+      rng_(std::move(rng)) {
+  if (!agg_) throw std::invalid_argument("Server: null aggregator");
+  if (params_.empty()) throw std::invalid_argument("Server: empty params");
+  if (config_.sample_prob <= 0.0 || config_.sample_prob > 1.0) {
+    throw std::invalid_argument("Server: sample_prob must be in (0, 1]");
+  }
+}
+
+RoundTelemetry Server::run_round(const std::vector<Client*>& clients) {
+  if (clients.empty()) throw std::invalid_argument("run_round: no clients");
+
+  RoundTelemetry t;
+  t.round = round_;
+
+  std::vector<Client*> sampled;
+  for (Client* c : clients) {
+    if (c == nullptr) throw std::invalid_argument("run_round: null client");
+    if (rng_.bernoulli(config_.sample_prob)) sampled.push_back(c);
+  }
+  if (sampled.empty()) {
+    // Guarantee progress: sample one client uniformly.
+    sampled.push_back(
+        clients[static_cast<std::size_t>(rng_.uniform_int(clients.size()))]);
+  }
+
+  RoundContext ctx{round_, params_};
+  for (Client* c : sampled) {
+    t.sampled_ids.push_back(c->id());
+    t.updates.push_back(c->compute_update(ctx));
+    t.compromised.push_back(c->is_compromised());
+    if (t.updates.back().delta.size() != params_.size()) {
+      throw std::logic_error("run_round: update dimension mismatch");
+    }
+  }
+
+  t.aggregated = agg_->aggregate(t.updates, params_);
+  if (t.aggregated.size() != params_.size()) {
+    throw std::logic_error("run_round: aggregate dimension mismatch");
+  }
+  tensor::axpy_inplace(params_, -config_.learning_rate, t.aggregated);
+  agg_->post_update(params_);
+  ++round_;
+  return t;
+}
+
+}  // namespace collapois::fl

@@ -1,0 +1,57 @@
+// The federated server: client sampling with probability q, one round of
+// collect-aggregate-apply, and per-round telemetry for the angle/distance
+// analyses (Figs. 3, 6, 7).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fl/aggregator.h"
+#include "fl/client.h"
+#include "stats/rng.h"
+
+namespace collapois::fl {
+
+struct ServerConfig {
+  // Server learning rate lambda applied to the aggregated pseudo-gradient.
+  double learning_rate = 1.0;
+  // Independent per-client sampling probability q (Algorithm 1 line 5).
+  double sample_prob = 0.01;
+};
+
+struct RoundTelemetry {
+  std::size_t round = 0;
+  std::vector<std::size_t> sampled_ids;
+  // The raw updates of the round (pseudo-gradients), in sampling order.
+  std::vector<ClientUpdate> updates;
+  // Flags parallel to `updates`.
+  std::vector<bool> compromised;
+  // The aggregated pseudo-gradient actually applied.
+  tensor::FlatVec aggregated;
+};
+
+class Server {
+ public:
+  Server(tensor::FlatVec initial_params, std::unique_ptr<Aggregator> agg,
+         ServerConfig config, stats::Rng rng);
+
+  // Run one round over the client population. Samples each client
+  // independently with probability q (at least one client is always
+  // sampled). Returns the round's telemetry.
+  RoundTelemetry run_round(const std::vector<Client*>& clients);
+
+  const tensor::FlatVec& global_params() const { return params_; }
+  void set_global_params(tensor::FlatVec p) { params_ = std::move(p); }
+  std::size_t round() const { return round_; }
+  const Aggregator& aggregator() const { return *agg_; }
+
+ private:
+  tensor::FlatVec params_;
+  std::unique_ptr<Aggregator> agg_;
+  ServerConfig config_;
+  stats::Rng rng_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace collapois::fl

@@ -1,0 +1,40 @@
+#include "fl/server_algorithm.h"
+
+#include <stdexcept>
+
+namespace collapois::fl {
+
+ServerAlgorithm::ServerAlgorithm(std::string name,
+                                 tensor::FlatVec initial_params,
+                                 std::unique_ptr<Aggregator> agg,
+                                 ServerConfig config,
+                                 std::vector<std::unique_ptr<Client>> clients,
+                                 stats::Rng rng)
+    : name_(std::move(name)),
+      clients_(std::move(clients)),
+      server_(std::move(initial_params), std::move(agg), config,
+              std::move(rng)) {
+  if (clients_.empty()) {
+    throw std::invalid_argument("ServerAlgorithm: no clients");
+  }
+  raw_clients_.reserve(clients_.size());
+  for (auto& c : clients_) {
+    if (!c) throw std::invalid_argument("ServerAlgorithm: null client");
+    raw_clients_.push_back(c.get());
+  }
+}
+
+RoundTelemetry ServerAlgorithm::run_round() {
+  return server_.run_round(raw_clients_);
+}
+
+tensor::FlatVec ServerAlgorithm::global_params() const {
+  return server_.global_params();
+}
+
+tensor::FlatVec ServerAlgorithm::client_eval_params(
+    std::size_t client_index) {
+  return clients_.at(client_index)->eval_params(server_.global_params());
+}
+
+}  // namespace collapois::fl

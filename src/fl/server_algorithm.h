@@ -1,0 +1,36 @@
+// Server-mediated federated training (FedAvg and FedDC): a Server plus an
+// owned client population. Which algorithm it is follows from the client
+// type (BenignClient vs FedDcClient) and the aggregator plugged in.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace collapois::fl {
+
+class ServerAlgorithm : public FlAlgorithm {
+ public:
+  ServerAlgorithm(std::string name, tensor::FlatVec initial_params,
+                  std::unique_ptr<Aggregator> agg, ServerConfig config,
+                  std::vector<std::unique_ptr<Client>> clients,
+                  stats::Rng rng);
+
+  RoundTelemetry run_round() override;
+  tensor::FlatVec global_params() const override;
+  tensor::FlatVec client_eval_params(std::size_t client_index) override;
+  std::size_t num_clients() const override { return clients_.size(); }
+  std::string name() const override { return name_; }
+
+  Server& server() { return server_; }
+  Client& client(std::size_t i) { return *clients_.at(i); }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<Client*> raw_clients_;
+  Server server_;
+};
+
+}  // namespace collapois::fl

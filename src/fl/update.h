@@ -1,0 +1,40 @@
+// The unit of communication in federated training.
+//
+// Sign convention (used consistently across the whole library): a client
+// update is the PSEUDO-GRADIENT
+//
+//     g_i = theta^t - theta_i^K            (benign, after K local steps)
+//
+// and the server applies   theta^{t+1} = theta^t - lambda * Agg({g_i}).
+//
+// The paper writes local updates as delta_i = theta_i - theta^t and then
+// subtracts them in Algorithm 1 line 14; taken literally those two choices
+// point the global model *away* from the clients' optima, so the intended
+// semantics is the descent form above (g = -delta). A CollaPois client's
+// update is therefore g_c = psi * (theta^t - X), which pulls the global
+// model toward the Trojaned model X exactly as Eq. 4 intends. All angle
+// and magnitude statistics are invariant to this global sign choice.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/vecops.h"
+
+namespace collapois::fl {
+
+struct ClientUpdate {
+  std::size_t client_id = 0;
+  // Pseudo-gradient in R^m (descent convention, see above).
+  tensor::FlatVec delta;
+  // Aggregation weight; Algorithm 1 averages uniformly over |S_t|.
+  double weight = 1.0;
+};
+
+struct RoundContext {
+  std::size_t round = 0;
+  // The broadcast global model theta^t.
+  std::span<const float> global;
+};
+
+}  // namespace collapois::fl

@@ -1,0 +1,67 @@
+// Client-level evaluation — the paper's central methodological point.
+//
+// For every benign client i, using the model that client actually serves
+// (personalized theta_i under PFL, the global model otherwise):
+//   Benign AC_i = accuracy on the clean local test set;
+//   Attack SR_i = fraction of trigger-stamped test samples classified as
+//                 the attacker's target class;
+//   score_i     = Benign AC_i + Attack SR_i              (Eq. 8)
+// Population metrics are the averages over benign clients.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "data/partition.h"
+#include "fl/algorithm.h"
+#include "nn/model.h"
+#include "trojan/trigger.h"
+
+namespace collapois::metrics {
+
+struct ClientEval {
+  std::size_t client_index = 0;
+  bool compromised = false;
+  bool has_test_data = false;
+  double benign_ac = 0.0;
+  double attack_sr = 0.0;
+  double score() const { return benign_ac + attack_sr; }
+};
+
+struct EvalConfig {
+  int target_label = 0;
+  // Evaluate only this many clients (uniformly strided over the
+  // population) to bound cost in per-round tracking; 0 = all clients.
+  std::size_t max_clients = 0;
+};
+
+// Evaluate clients of `algo` against `fed`. `eval_trigger` is the trigger
+// applied at inference time (for DBA: the assembled global trigger).
+// `architecture` supplies the model structure for running inference;
+// `compromised` flags which client indices are attacker-controlled.
+std::vector<ClientEval> evaluate_clients(fl::FlAlgorithm& algo,
+                                         const data::FederatedData& fed,
+                                         const trojan::Trigger& eval_trigger,
+                                         const nn::Model& architecture,
+                                         const std::vector<bool>& compromised,
+                                         const EvalConfig& config);
+
+struct PopulationMetrics {
+  double benign_ac = 0.0;
+  double attack_sr = 0.0;
+  std::size_t clients = 0;
+};
+
+// Average over benign clients with test data.
+PopulationMetrics average_benign(const std::vector<ClientEval>& evals);
+
+// Average over the top-k% benign clients by score (Eq. 8), k in (0, 100].
+PopulationMetrics average_top_k(const std::vector<ClientEval>& evals,
+                                double k_percent);
+
+// Fraction of benign clients whose Attack SR exceeds `threshold` — the
+// "how many clients are impacted" headline numbers (e.g. SR > 70%).
+double fraction_infected(const std::vector<ClientEval>& evals,
+                         double threshold);
+
+}  // namespace collapois::metrics

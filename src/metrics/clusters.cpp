@@ -1,0 +1,79 @@
+#include "metrics/clusters.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/geometry.h"
+
+namespace collapois::metrics {
+
+double cumulative_label_cosine(std::span<const double> histogram_a,
+                               std::span<const double> histogram_b) {
+  if (histogram_a.size() != histogram_b.size() || histogram_a.empty()) {
+    throw std::invalid_argument("cumulative_label_cosine: size mismatch");
+  }
+  std::vector<double> ca(histogram_a.begin(), histogram_a.end());
+  std::vector<double> cb(histogram_b.begin(), histogram_b.end());
+  for (std::size_t j = 1; j < ca.size(); ++j) {
+    ca[j] += ca[j - 1];
+    cb[j] += cb[j - 1];
+  }
+  return stats::cosine_similarity(std::span<const double>(ca),
+                                  std::span<const double>(cb));
+}
+
+std::vector<ClusterResult> risk_clusters(
+    const std::vector<ClientEval>& evals, const std::vector<double>& ks,
+    const std::vector<std::vector<double>>& client_histograms,
+    std::span<const double> auxiliary_histogram) {
+  for (std::size_t i = 1; i < ks.size(); ++i) {
+    if (ks[i] <= ks[i - 1]) {
+      throw std::invalid_argument("risk_clusters: ks must be increasing");
+    }
+  }
+  // Rank benign clients with test data by descending score.
+  std::vector<const ClientEval*> ranked;
+  for (const auto& e : evals) {
+    if (!e.compromised && e.has_test_data) ranked.push_back(&e);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ClientEval* a, const ClientEval* b) {
+              return a->score() > b->score();
+            });
+
+  std::vector<ClusterResult> out;
+  std::size_t consumed = 0;
+  auto emit = [&](const std::string& name, std::size_t end) {
+    ClusterResult c;
+    c.name = name;
+    for (std::size_t r = consumed; r < end && r < ranked.size(); ++r) {
+      const ClientEval* e = ranked[r];
+      c.client_indices.push_back(e->client_index);
+      c.mean_benign_ac += e->benign_ac;
+      c.mean_attack_sr += e->attack_sr;
+      if (e->client_index < client_histograms.size()) {
+        c.label_cosine += cumulative_label_cosine(
+            client_histograms[e->client_index], auxiliary_histogram);
+      }
+    }
+    const double n = static_cast<double>(c.client_indices.size());
+    if (n > 0) {
+      c.mean_benign_ac /= n;
+      c.mean_attack_sr /= n;
+      c.label_cosine /= n;
+    }
+    consumed = std::min(end, ranked.size());
+    out.push_back(std::move(c));
+  };
+
+  for (double k : ks) {
+    std::size_t end = static_cast<std::size_t>(
+        k / 100.0 * static_cast<double>(ranked.size()));
+    end = std::max(end, consumed + 1);  // every cluster gets >= 1 client
+    emit("top-" + std::to_string(static_cast<int>(k)) + "%", end);
+  }
+  emit("bottom", ranked.size());
+  return out;
+}
+
+}  // namespace collapois::metrics

@@ -1,0 +1,40 @@
+// Risk clustering of benign clients (Section V, "Client-level
+// Evaluation"): the disjoint 1% / 25% / 50% / bottom-50% clusters by
+// score (Eq. 8), and the CS_k proximity between each cluster's cumulative
+// label distribution and the auxiliary data's (Eq. 9) that explains the
+// risk ordering (Figs. 11 and 12).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/client_metrics.h"
+
+namespace collapois::metrics {
+
+struct ClusterResult {
+  std::string name;                        // "top-1%", ..., "bottom-50%"
+  std::vector<std::size_t> client_indices; // indices into the federation
+  double mean_benign_ac = 0.0;
+  double mean_attack_sr = 0.0;
+  // CS_k (Eq. 9): mean cosine similarity between each member's cumulative
+  // label distribution and the auxiliary data's.
+  double label_cosine = 0.0;
+};
+
+// Cosine similarity of cumulative label distributions (Eq. 9's inner
+// term) from raw label histograms.
+double cumulative_label_cosine(std::span<const double> histogram_a,
+                               std::span<const double> histogram_b);
+
+// Build the disjoint clusters: each top-k% cluster excludes all preceding
+// clusters; the final cluster holds the remaining (bottom) clients.
+// `ks` must be increasing percentages, e.g. {1, 25, 50}.
+// `client_histograms` indexes by federation client index;
+// `auxiliary_histogram` is the label histogram of D_a.
+std::vector<ClusterResult> risk_clusters(
+    const std::vector<ClientEval>& evals, const std::vector<double>& ks,
+    const std::vector<std::vector<double>>& client_histograms,
+    std::span<const double> auxiliary_histogram);
+
+}  // namespace collapois::metrics

@@ -1,0 +1,55 @@
+#include "metrics/telemetry.h"
+
+#include <stdexcept>
+
+#include "stats/geometry.h"
+
+namespace collapois::metrics {
+
+SplitUpdates split_updates(const fl::RoundTelemetry& telemetry) {
+  // Protocols without transmitted updates (MetaFed) report sampled ids and
+  // compromised flags but no update vectors; there is nothing to split.
+  if (telemetry.updates.empty()) return {};
+  if (telemetry.updates.size() != telemetry.compromised.size()) {
+    throw std::invalid_argument("split_updates: flag size mismatch");
+  }
+  SplitUpdates s;
+  for (std::size_t i = 0; i < telemetry.updates.size(); ++i) {
+    if (telemetry.compromised[i]) {
+      s.malicious.push_back(telemetry.updates[i].delta);
+    } else {
+      s.benign.push_back(telemetry.updates[i].delta);
+    }
+  }
+  return s;
+}
+
+RoundAngleSummary summarize_round_angles(const fl::RoundTelemetry& telemetry) {
+  const SplitUpdates s = split_updates(telemetry);
+  RoundAngleSummary out;
+  out.n_benign = s.benign.size();
+  out.n_malicious = s.malicious.size();
+  if (s.benign.size() >= 2) {
+    const auto angles = stats::pairwise_angles(s.benign);
+    out.benign_pairwise_mean = stats::mean(angles);
+    out.benign_pairwise_std = stats::stddev(angles);
+  }
+  if (s.malicious.size() >= 2) {
+    const auto angles = stats::pairwise_angles(s.malicious);
+    out.malicious_pairwise_mean = stats::mean(angles);
+    out.malicious_pairwise_std = stats::stddev(angles);
+  }
+  return out;
+}
+
+void AngleAccumulator::add(const fl::RoundTelemetry& telemetry) {
+  const SplitUpdates s = split_updates(telemetry);
+  if (s.benign.size() >= 2) {
+    for (double a : stats::pairwise_angles(s.benign)) benign_.add(a);
+  }
+  if (s.malicious.size() >= 2) {
+    for (double a : stats::pairwise_angles(s.malicious)) malicious_.add(a);
+  }
+}
+
+}  // namespace collapois::metrics

@@ -1,0 +1,47 @@
+// Round-level gradient telemetry: the angle summaries behind Figs. 3 and
+// 6 and the global-model-to-X distance tracked in Fig. 7 / Theorem 2.
+#pragma once
+
+#include <vector>
+
+#include "fl/server.h"
+#include "stats/summary.h"
+
+namespace collapois::metrics {
+
+struct RoundAngleSummary {
+  // Mean/std of pairwise angles among benign updates of the round.
+  double benign_pairwise_mean = 0.0;
+  double benign_pairwise_std = 0.0;
+  // Same among compromised updates.
+  double malicious_pairwise_mean = 0.0;
+  double malicious_pairwise_std = 0.0;
+  std::size_t n_benign = 0;
+  std::size_t n_malicious = 0;
+};
+
+RoundAngleSummary summarize_round_angles(const fl::RoundTelemetry& telemetry);
+
+// Accumulates angle summaries across rounds (e.g. the first ten rounds the
+// attacker uses to estimate mu_alpha and sigma).
+class AngleAccumulator {
+ public:
+  void add(const fl::RoundTelemetry& telemetry);
+
+  stats::RunningStats benign() const { return benign_; }
+  stats::RunningStats malicious() const { return malicious_; }
+
+ private:
+  stats::RunningStats benign_;
+  stats::RunningStats malicious_;
+};
+
+// Split a round's updates into (benign, malicious) pseudo-gradient sets.
+struct SplitUpdates {
+  std::vector<tensor::FlatVec> benign;
+  std::vector<tensor::FlatVec> malicious;
+};
+
+SplitUpdates split_updates(const fl::RoundTelemetry& telemetry);
+
+}  // namespace collapois::metrics

@@ -1,0 +1,44 @@
+#include "nn/eval.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+
+namespace collapois::nn {
+
+double accuracy(Model& model, const data::Dataset& d, std::size_t batch_size) {
+  if (d.empty()) return 0.0;
+  std::size_t correct = 0;
+  std::vector<std::size_t> idx(batch_size);
+  for (std::size_t start = 0; start < d.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, d.size() - start);
+    idx.resize(count);
+    for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
+    const auto batch = data::make_batch(d, idx);
+    const Tensor logits = model.forward(batch.x);
+    const auto preds = argmax_rows(logits);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (preds[i] == batch.labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.size());
+}
+
+double mean_loss(Model& model, const data::Dataset& d,
+                 std::size_t batch_size) {
+  if (d.empty()) return 0.0;
+  double total = 0.0;
+  std::vector<std::size_t> idx(batch_size);
+  for (std::size_t start = 0; start < d.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, d.size() - start);
+    idx.resize(count);
+    for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
+    const auto batch = data::make_batch(d, idx);
+    const Tensor logits = model.forward(batch.x);
+    const auto res = softmax_cross_entropy(logits, batch.labels);
+    total += res.loss * static_cast<double>(count);
+  }
+  return total / static_cast<double>(d.size());
+}
+
+}  // namespace collapois::nn

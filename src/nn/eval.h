@@ -1,0 +1,20 @@
+// Model evaluation helpers: plain accuracy (Benign AC's per-client inner
+// term) and accuracy on a trigger-transformed dataset (Attack SR's inner
+// term, Section V's evaluation approach).
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace collapois::nn {
+
+// Fraction of examples whose argmax prediction equals the label; 0 for an
+// empty dataset. Runs in mini-batches of `batch_size`.
+double accuracy(Model& model, const data::Dataset& d,
+                std::size_t batch_size = 64);
+
+// Mean cross-entropy loss over the dataset.
+double mean_loss(Model& model, const data::Dataset& d,
+                 std::size_t batch_size = 64);
+
+}  // namespace collapois::nn

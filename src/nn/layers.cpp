@@ -1,0 +1,330 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/linalg.h"
+
+namespace collapois::nn {
+
+void Layer::zero_grad() {
+  auto g = gradients();
+  std::fill(g.begin(), g.end(), 0.0f);
+}
+
+// ---------------------------------------------------------------- Dense
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      params_(in_features * out_features + out_features, 0.0f),
+      grads_(params_.size(), 0.0f) {
+  if (in_ == 0 || out_ == 0) {
+    throw std::invalid_argument("Dense: zero-sized layer");
+  }
+}
+
+void Dense::init(stats::Rng& rng) {
+  // He initialization for the ReLU nets used throughout.
+  const double s = std::sqrt(2.0 / static_cast<double>(in_));
+  for (std::size_t i = 0; i < in_ * out_; ++i) {
+    params_[i] = static_cast<float>(rng.normal(0.0, s));
+  }
+  for (std::size_t i = in_ * out_; i < params_.size(); ++i) params_[i] = 0.0f;
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("Dense::forward: expected [B, in]");
+  }
+  cached_input_ = input;
+  const std::size_t batch = input.dim(0);
+  Tensor out({batch, out_});
+  // y[b, o] = sum_i x[b, i] * W[o, i] + b[o]
+  tensor::gemm_a_bt_accum(input.data(), std::span<const float>(params_.data(), in_ * out_),
+                          out.data(), batch, in_, out_);
+  const float* bias = params_.data() + in_ * out_;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_; ++o) out.data()[b * out_ + o] += bias[o];
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  if (grad_output.rank() != 2 || grad_output.dim(1) != out_) {
+    throw std::invalid_argument("Dense::backward: expected [B, out]");
+  }
+  const std::size_t batch = grad_output.dim(0);
+  // dW[o, i] += sum_b g[b, o] * x[b, i]  (A^T B with A = g, B = x)
+  tensor::gemm_at_b_accum(grad_output.data(), cached_input_.data(),
+                          std::span<float>(grads_.data(), in_ * out_), batch,
+                          out_, in_);
+  float* gbias = grads_.data() + in_ * out_;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t o = 0; o < out_; ++o) {
+      gbias[o] += grad_output.data()[b * out_ + o];
+    }
+  }
+  // dX[b, i] = sum_o g[b, o] * W[o, i]
+  Tensor grad_in({batch, in_});
+  tensor::gemm(grad_output.data(),
+               std::span<const float>(params_.data(), in_ * out_),
+               grad_in.data(), batch, out_, in_);
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto c = std::make_unique<Dense>(in_, out_);
+  c->params_ = params_;
+  return c;
+}
+
+// ----------------------------------------------------------------- Relu
+
+Tensor Relu::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& x : out.storage()) x = std::max(x, 0.0f);
+  return out;
+}
+
+Tensor Relu::backward(const Tensor& grad_output) {
+  if (grad_output.size() != cached_input_.size()) {
+    throw std::invalid_argument("Relu::backward: size mismatch");
+  }
+  Tensor grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    if (cached_input_[i] <= 0.0f) grad_in[i] = 0.0f;
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Relu::clone() const { return std::make_unique<Relu>(); }
+
+// --------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t padding)
+    : cin_(in_channels),
+      cout_(out_channels),
+      k_(kernel),
+      pad_(padding),
+      params_(out_channels * in_channels * kernel * kernel + out_channels,
+              0.0f),
+      grads_(params_.size(), 0.0f) {
+  if (cin_ == 0 || cout_ == 0 || k_ == 0) {
+    throw std::invalid_argument("Conv2d: zero-sized layer");
+  }
+}
+
+void Conv2d::init(stats::Rng& rng) {
+  const double fan_in = static_cast<double>(cin_ * k_ * k_);
+  const double s = std::sqrt(2.0 / fan_in);
+  const std::size_t nw = cout_ * cin_ * k_ * k_;
+  for (std::size_t i = 0; i < nw; ++i) {
+    params_[i] = static_cast<float>(rng.normal(0.0, s));
+  }
+  for (std::size_t i = nw; i < params_.size(); ++i) params_[i] = 0.0f;
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  const auto& s = input.shape();
+  if (s.size() != 4 || s[1] != cin_) {
+    throw std::invalid_argument("Conv2d::forward: expected [B, Cin, H, W]");
+  }
+  cached_input_ = input;
+  const std::size_t batch = s[0];
+  const std::size_t h = s[2];
+  const std::size_t w = s[3];
+  if (h + 2 * pad_ < k_ || w + 2 * pad_ < k_) {
+    throw std::invalid_argument("Conv2d::forward: kernel larger than input");
+  }
+  const std::size_t oh = h + 2 * pad_ - k_ + 1;
+  const std::size_t ow = w + 2 * pad_ - k_ + 1;
+  Tensor out({batch, cout_, oh, ow});
+
+  const float* wts = params_.data();
+  const float* bias = params_.data() + cout_ * cin_ * k_ * k_;
+  const float* in = input.data().data();
+  float* o = out.data().data();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < cout_; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          double acc = bias[oc];
+          for (std::size_t ic = 0; ic < cin_; ++ic) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                        static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const float v =
+                    in[((b * cin_ + ic) * h + static_cast<std::size_t>(iy)) *
+                           w +
+                       static_cast<std::size_t>(ix)];
+                const float wt =
+                    wts[((oc * cin_ + ic) * k_ + ky) * k_ + kx];
+                acc += static_cast<double>(v) * wt;
+              }
+            }
+          }
+          o[((b * cout_ + oc) * oh + oy) * ow + ox] =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const auto& gs = grad_output.shape();
+  const auto& is = cached_input_.shape();
+  if (gs.size() != 4 || gs[1] != cout_) {
+    throw std::invalid_argument("Conv2d::backward: expected [B, Cout, OH, OW]");
+  }
+  const std::size_t batch = is[0];
+  const std::size_t h = is[2];
+  const std::size_t w = is[3];
+  const std::size_t oh = gs[2];
+  const std::size_t ow = gs[3];
+
+  Tensor grad_in(is);
+  const float* wts = params_.data();
+  float* gw = grads_.data();
+  float* gb = grads_.data() + cout_ * cin_ * k_ * k_;
+  const float* in = cached_input_.data().data();
+  const float* go = grad_output.data().data();
+  float* gi = grad_in.data().data();
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oc = 0; oc < cout_; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = go[((b * cout_ + oc) * oh + oy) * ow + ox];
+          if (g == 0.0f) continue;
+          gb[oc] += g;
+          for (std::size_t ic = 0; ic < cin_; ++ic) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
+                                        static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const std::size_t in_idx =
+                    ((b * cin_ + ic) * h + static_cast<std::size_t>(iy)) * w +
+                    static_cast<std::size_t>(ix);
+                const std::size_t w_idx =
+                    ((oc * cin_ + ic) * k_ + ky) * k_ + kx;
+                gw[w_idx] += g * in[in_idx];
+                gi[in_idx] += g * wts[w_idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  auto c = std::make_unique<Conv2d>(cin_, cout_, k_, pad_);
+  c->params_ = params_;
+  return c;
+}
+
+// ------------------------------------------------------------ MaxPool2d
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  const auto& s = input.shape();
+  if (s.size() != 4 || s[2] % 2 != 0 || s[3] % 2 != 0) {
+    throw std::invalid_argument(
+        "MaxPool2d::forward: expected [B, C, H, W] with even H, W");
+  }
+  in_shape_ = s;
+  const std::size_t batch = s[0];
+  const std::size_t c = s[1];
+  const std::size_t h = s[2];
+  const std::size_t w = s[3];
+  const std::size_t oh = h / 2;
+  const std::size_t ow = w / 2;
+  Tensor out({batch, c, oh, ow});
+  argmax_.assign(out.size(), 0);
+  const float* in = input.data().data();
+  float* o = out.data().data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t idx =
+                  ((b * c + ch) * h + (2 * oy + dy)) * w + (2 * ox + dx);
+              if (in[idx] > best) {
+                best = in[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          const std::size_t out_idx = ((b * c + ch) * oh + oy) * ow + ox;
+          o[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  if (grad_output.size() != argmax_.size()) {
+    throw std::invalid_argument("MaxPool2d::backward: size mismatch");
+  }
+  Tensor grad_in(in_shape_);
+  float* gi = grad_in.data().data();
+  const float* go = grad_output.data().data();
+  for (std::size_t i = 0; i < argmax_.size(); ++i) gi[argmax_[i]] += go[i];
+  return grad_in;
+}
+
+std::unique_ptr<Layer> MaxPool2d::clone() const {
+  return std::make_unique<MaxPool2d>();
+}
+
+// -------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& input) {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten::forward: rank >= 2 required");
+  }
+  in_shape_ = input.shape();
+  const std::size_t batch = in_shape_[0];
+  Tensor out = input;
+  out.reshape({batch, input.size() / batch});
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  Tensor grad_in = grad_output;
+  grad_in.reshape(in_shape_);
+  return grad_in;
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  return std::make_unique<Flatten>();
+}
+
+}  // namespace collapois::nn

@@ -1,0 +1,133 @@
+// Neural-network layers with explicit forward/backward passes.
+//
+// Batches are rank-2 tensors [B, features] for dense paths and rank-4
+// (stored with an explicit shape vector) [B, C, H, W] for the convolutional
+// path of the LeNet-style local model the paper uses for FEMNIST.
+//
+// Each layer owns its parameters and gradients and caches whatever it needs
+// from the forward pass; Model sequences layers and exposes the flat
+// parameter vector that federated aggregation operates on.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+#include "tensor/tensor.h"
+
+namespace collapois::nn {
+
+using tensor::Tensor;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Forward pass; caches activations needed by backward.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  // Backward pass: consumes dL/d(output), accumulates parameter gradients,
+  // returns dL/d(input).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  // Flat views over parameters and their gradients (empty for stateless
+  // layers).
+  virtual std::span<float> parameters() { return {}; }
+  virtual std::span<float> gradients() { return {}; }
+
+  virtual void zero_grad();
+
+  // Deep copy (used to replicate architecture across simulator roles).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  // Initialize parameters (He/Glorot-style); default no-op.
+  virtual void init(stats::Rng& /*rng*/) {}
+
+  std::size_t num_parameters() { return parameters().size(); }
+};
+
+// Fully connected layer: y = x W^T + b, x: [B, in], y: [B, out].
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::span<float> parameters() override { return params_; }
+  std::span<float> gradients() override { return grads_; }
+  std::unique_ptr<Layer> clone() const override;
+  void init(stats::Rng& rng) override;
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  // params_ layout: [W (out*in) | b (out)].
+  std::vector<float> params_;
+  std::vector<float> grads_;
+  Tensor cached_input_;
+};
+
+// Element-wise ReLU.
+class Relu : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_input_;
+};
+
+// 2-D convolution, stride 1, 'valid' padding by default (pad = 0).
+// Input [B, C_in, H, W] -> output [B, C_out, H-k+1+2p, W-k+1+2p].
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t padding = 0);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::span<float> parameters() override { return params_; }
+  std::span<float> gradients() override { return grads_; }
+  std::unique_ptr<Layer> clone() const override;
+  void init(stats::Rng& rng) override;
+
+ private:
+  std::size_t cin_;
+  std::size_t cout_;
+  std::size_t k_;
+  std::size_t pad_;
+  // params_ layout: [W (cout*cin*k*k) | b (cout)].
+  std::vector<float> params_;
+  std::vector<float> grads_;
+  Tensor cached_input_;
+};
+
+// 2x2 max pooling with stride 2 on [B, C, H, W] (H, W even required).
+class MaxPool2d : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::vector<std::size_t> argmax_;
+  std::vector<std::size_t> in_shape_;
+};
+
+// Collapses [B, ...] to [B, F]. Pure reshape; remembers the input shape.
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+}  // namespace collapois::nn

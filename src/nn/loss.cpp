@@ -1,0 +1,98 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace collapois::nn {
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax: expected [B, C]");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  Tensor probs({batch, classes});
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = logits.data().data() + b * classes;
+    float* out = probs.data().data() + b * classes;
+    const float mx = *std::max_element(row, row + classes);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      out[c] = std::exp(row[c] - mx);
+      sum += out[c];
+    }
+    for (std::size_t c = 0; c < classes; ++c) {
+      out[c] = static_cast<float>(out[c] / sum);
+    }
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: shape mismatch");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  LossResult res;
+  res.grad_logits = softmax(logits);
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const int y = labels[b];
+    if (y < 0 || static_cast<std::size_t>(y) >= classes) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    float* row = res.grad_logits.data().data() + b * classes;
+    total -= std::log(std::max(row[static_cast<std::size_t>(y)], 1e-12f));
+    row[static_cast<std::size_t>(y)] -= 1.0f;
+  }
+  const double inv_b = 1.0 / static_cast<double>(batch);
+  for (auto& g : res.grad_logits.storage()) {
+    g = static_cast<float>(g * inv_b);
+  }
+  res.loss = total * inv_b;
+  return res;
+}
+
+LossResult soft_cross_entropy(const Tensor& logits, const Tensor& targets) {
+  if (!logits.same_shape(targets)) {
+    throw std::invalid_argument("soft_cross_entropy: shape mismatch");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  LossResult res;
+  res.grad_logits = softmax(logits);
+  double total = 0.0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* p = res.grad_logits.data().data() + b * classes;
+    const float* t = targets.data().data() + b * classes;
+    for (std::size_t c = 0; c < classes; ++c) {
+      total -= t[c] * std::log(std::max(p[c], 1e-12f));
+      p[c] -= t[c];
+    }
+  }
+  const double inv_b = 1.0 / static_cast<double>(batch);
+  for (auto& g : res.grad_logits.storage()) {
+    g = static_cast<float>(g * inv_b);
+  }
+  res.loss = total * inv_b;
+  return res;
+}
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("argmax_rows: expected [B, C]");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  std::vector<int> out(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = logits.data().data() + b * classes;
+    out[b] = static_cast<int>(std::max_element(row, row + classes) - row);
+  }
+  return out;
+}
+
+}  // namespace collapois::nn

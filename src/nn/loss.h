@@ -1,0 +1,34 @@
+// Classification losses: softmax cross-entropy against hard labels (local
+// training, trojan training) and against soft targets (MetaFed's knowledge
+// distillation).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace collapois::nn {
+
+using tensor::Tensor;
+
+// Row-wise softmax of logits [B, C].
+Tensor softmax(const Tensor& logits);
+
+struct LossResult {
+  double loss = 0.0;       // mean over the batch
+  Tensor grad_logits;      // dL/dlogits, already divided by batch size
+};
+
+// Mean softmax cross-entropy of logits [B, C] against integer labels.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels);
+
+// Mean cross-entropy against a full soft-target distribution [B, C]
+// (teacher probabilities). Gradient is (p_student - p_teacher)/B.
+LossResult soft_cross_entropy(const Tensor& logits, const Tensor& targets);
+
+// Argmax prediction per row.
+std::vector<int> argmax_rows(const Tensor& logits);
+
+}  // namespace collapois::nn

@@ -1,0 +1,119 @@
+#include "nn/sgd.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/geometry.h"
+
+namespace collapois::nn {
+
+namespace {
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, stats::Rng& rng) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  rng.shuffle(idx);
+  return idx;
+}
+
+void clip_model_gradients(Model& model, double bound) {
+  if (bound <= 0.0) return;
+  auto g = model.get_gradients();
+  const double n = stats::l2_norm(g);
+  if (n <= bound) return;
+  const double f = bound / n;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    auto grads = model.layer(l).gradients();
+    for (auto& v : grads) v = static_cast<float>(v * f);
+  }
+}
+
+template <typename BatchLoss>
+double run_epochs(Model& model, const data::Dataset& d,
+                  const SgdConfig& config, stats::Rng& rng,
+                  BatchLoss&& batch_loss) {
+  if (d.empty()) throw std::invalid_argument("train_sgd: empty dataset");
+  if (config.batch_size == 0 || config.epochs == 0) {
+    throw std::invalid_argument("train_sgd: zero batch size or epochs");
+  }
+  double final_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto idx = shuffled_indices(d.size(), rng);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < idx.size();
+         start += config.batch_size) {
+      const std::size_t count =
+          std::min(config.batch_size, idx.size() - start);
+      const auto batch = data::make_batch(
+          d, std::span<const std::size_t>(idx.data() + start, count));
+      model.zero_grad();
+      epoch_loss += batch_loss(batch);
+      clip_model_gradients(model, config.grad_clip);
+      model.sgd_step(config.learning_rate, config.weight_decay);
+      ++batches;
+    }
+    final_epoch_loss = epoch_loss / static_cast<double>(std::max<std::size_t>(batches, 1));
+  }
+  return final_epoch_loss;
+}
+
+}  // namespace
+
+double train_sgd(Model& model, const data::Dataset& d, const SgdConfig& config,
+                 stats::Rng& rng) {
+  return run_epochs(model, d, config, rng, [&](const data::Batch& batch) {
+    const Tensor logits = model.forward(batch.x);
+    auto res = softmax_cross_entropy(logits, batch.labels);
+    model.backward(res.grad_logits);
+    return res.loss;
+  });
+}
+
+double train_sgd_distill(Model& model, Model& teacher, double distill_weight,
+                         const data::Dataset& d, const SgdConfig& config,
+                         stats::Rng& rng) {
+  return run_epochs(model, d, config, rng, [&](const data::Batch& batch) {
+    const Tensor logits = model.forward(batch.x);
+    auto hard = softmax_cross_entropy(logits, batch.labels);
+    const Tensor teacher_probs = softmax(teacher.forward(batch.x));
+    auto soft = soft_cross_entropy(logits, teacher_probs);
+    // Combine gradients: hard + w * soft.
+    Tensor grad = hard.grad_logits;
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      grad[i] = static_cast<float>(grad[i] +
+                                   distill_weight * soft.grad_logits[i]);
+    }
+    model.backward(grad);
+    return hard.loss + distill_weight * soft.loss;
+  });
+}
+
+double train_sgd_proximal(Model& model, std::span<const float> anchor,
+                          double penalty, const data::Dataset& d,
+                          const SgdConfig& config, stats::Rng& rng) {
+  if (anchor.size() != model.num_parameters()) {
+    throw std::invalid_argument("train_sgd_proximal: anchor size mismatch");
+  }
+  return run_epochs(model, d, config, rng, [&](const data::Batch& batch) {
+    const Tensor logits = model.forward(batch.x);
+    auto res = softmax_cross_entropy(logits, batch.labels);
+    model.backward(res.grad_logits);
+    // Add the proximal term's gradient: penalty * (theta - anchor).
+    std::size_t offset = 0;
+    double prox_loss = 0.0;
+    for (std::size_t l = 0; l < model.num_layers(); ++l) {
+      auto params = model.layer(l).parameters();
+      auto grads = model.layer(l).gradients();
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        const double diff = params[i] - anchor[offset + i];
+        grads[i] = static_cast<float>(grads[i] + penalty * diff);
+        prox_loss += 0.5 * penalty * diff * diff;
+      }
+      offset += params.size();
+    }
+    return res.loss + prox_loss;
+  });
+}
+
+}  // namespace collapois::nn

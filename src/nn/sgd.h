@@ -1,0 +1,46 @@
+// Mini-batch SGD training loops over a Dataset: the local-training step
+// every benign client runs (Algorithm 1, lines 7-10), the centralized
+// training the attacker uses to fit the Trojaned model X (Eq. 1), and the
+// distillation-regularized variant MetaFed needs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "stats/rng.h"
+
+namespace collapois::nn {
+
+struct SgdConfig {
+  double learning_rate = 0.01;
+  std::size_t batch_size = 16;
+  std::size_t epochs = 1;
+  double weight_decay = 0.0;
+  // Optional per-sample gradient-norm clip applied to the whole model's
+  // flat gradient after each batch backward (0 disables).
+  double grad_clip = 0.0;
+};
+
+// Train `model` in place on `d`; returns the mean training loss of the
+// final epoch. Batches are sampled by shuffling each epoch.
+double train_sgd(Model& model, const data::Dataset& d, const SgdConfig& config,
+                 stats::Rng& rng);
+
+// One SGD pass where the loss is
+//   CE(model(x), y) + distill_weight * CE_soft(model(x), teacher(x)).
+// Used by MetaFed's cyclic knowledge distillation.
+double train_sgd_distill(Model& model, Model& teacher, double distill_weight,
+                         const data::Dataset& d, const SgdConfig& config,
+                         stats::Rng& rng);
+
+// One SGD pass with a proximal/drift-correction pull toward `anchor`
+// (flat parameter vector): loss + (penalty/2)*||theta - anchor||^2.
+// Used by FedDC's corrected local objective.
+double train_sgd_proximal(Model& model, std::span<const float> anchor,
+                          double penalty, const data::Dataset& d,
+                          const SgdConfig& config, stats::Rng& rng);
+
+}  // namespace collapois::nn

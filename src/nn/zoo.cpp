@@ -1,0 +1,44 @@
+#include "nn/zoo.h"
+
+#include <stdexcept>
+
+namespace collapois::nn {
+
+Model make_lenet_small(const LeNetConfig& config) {
+  if (config.height % 4 != 0 || config.width % 4 != 0) {
+    throw std::invalid_argument(
+        "make_lenet_small: height and width must be divisible by 4");
+  }
+  Model m;
+  m.add(std::make_unique<Conv2d>(1, config.conv1_channels, 3, 1));
+  m.add(std::make_unique<Relu>());
+  m.add(std::make_unique<MaxPool2d>());
+  m.add(std::make_unique<Conv2d>(config.conv1_channels, config.conv2_channels,
+                                 3, 1));
+  m.add(std::make_unique<Relu>());
+  m.add(std::make_unique<MaxPool2d>());
+  m.add(std::make_unique<Flatten>());
+  const std::size_t flat =
+      config.conv2_channels * (config.height / 4) * (config.width / 4);
+  m.add(std::make_unique<Dense>(flat, config.hidden));
+  m.add(std::make_unique<Relu>());
+  m.add(std::make_unique<Dense>(config.hidden, config.num_classes));
+  return m;
+}
+
+Model make_mlp_head(const MlpConfig& config) {
+  if (config.num_hidden_layers == 0) {
+    throw std::invalid_argument("make_mlp_head: need >= 1 hidden layer");
+  }
+  Model m;
+  std::size_t in = config.input_dim;
+  for (std::size_t i = 0; i < config.num_hidden_layers; ++i) {
+    m.add(std::make_unique<Dense>(in, config.hidden));
+    m.add(std::make_unique<Relu>());
+    in = config.hidden;
+  }
+  m.add(std::make_unique<Dense>(in, config.num_classes));
+  return m;
+}
+
+}  // namespace collapois::nn

@@ -1,0 +1,40 @@
+// Model factories matching the paper's configurations (Appendix E):
+// a LeNet-based network (two conv + two fully connected layers) for the
+// image dataset, and a small fully connected task head for the text
+// dataset (which, in the paper, sits on a frozen BERT tokenizer — our
+// synthetic-text substrate generates the embeddings directly).
+#pragma once
+
+#include <cstddef>
+
+#include "nn/model.h"
+
+namespace collapois::nn {
+
+struct LeNetConfig {
+  std::size_t height = 16;
+  std::size_t width = 16;
+  std::size_t num_classes = 10;
+  std::size_t conv1_channels = 4;
+  std::size_t conv2_channels = 8;
+  std::size_t hidden = 32;
+};
+
+// LeNet-small: Conv(1->c1, 3x3, pad 1) - ReLU - MaxPool2 -
+//              Conv(c1->c2, 3x3, pad 1) - ReLU - MaxPool2 -
+//              Flatten - Dense(hidden) - ReLU - Dense(classes).
+// Requires height and width divisible by 4.
+Model make_lenet_small(const LeNetConfig& config);
+
+struct MlpConfig {
+  std::size_t input_dim = 32;
+  std::size_t hidden = 32;
+  std::size_t num_classes = 2;
+  std::size_t num_hidden_layers = 2;
+};
+
+// Fully connected head: Dense(hidden) - ReLU, repeated, then
+// Dense(classes).
+Model make_mlp_head(const MlpConfig& config);
+
+}  // namespace collapois::nn

@@ -1,0 +1,58 @@
+#include "sim/config.h"
+
+#include <stdexcept>
+
+namespace collapois::sim {
+
+const char* dataset_name(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::femnist_like: return "femnist";
+    case DatasetKind::sentiment_like: return "sentiment";
+  }
+  return "unknown";
+}
+
+const char* algorithm_name(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::fedavg: return "fedavg";
+    case AlgorithmKind::feddc: return "feddc";
+    case AlgorithmKind::metafed: return "metafed";
+  }
+  return "unknown";
+}
+
+const char* attack_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::none: return "none";
+    case AttackKind::collapois: return "collapois";
+    case AttackKind::dpois: return "dpois";
+    case AttackKind::mrepl: return "mrepl";
+    case AttackKind::dba: return "dba";
+  }
+  return "unknown";
+}
+
+DatasetKind parse_dataset(const std::string& name) {
+  if (name == "femnist") return DatasetKind::femnist_like;
+  if (name == "sentiment") return DatasetKind::sentiment_like;
+  throw std::invalid_argument("parse_dataset: unknown dataset '" + name + "'");
+}
+
+AlgorithmKind parse_algorithm(const std::string& name) {
+  if (name == "fedavg") return AlgorithmKind::fedavg;
+  if (name == "feddc") return AlgorithmKind::feddc;
+  if (name == "metafed") return AlgorithmKind::metafed;
+  throw std::invalid_argument("parse_algorithm: unknown algorithm '" + name +
+                              "'");
+}
+
+AttackKind parse_attack(const std::string& name) {
+  if (name == "none") return AttackKind::none;
+  if (name == "collapois") return AttackKind::collapois;
+  if (name == "dpois") return AttackKind::dpois;
+  if (name == "mrepl") return AttackKind::mrepl;
+  if (name == "dba") return AttackKind::dba;
+  throw std::invalid_argument("parse_attack: unknown attack '" + name + "'");
+}
+
+}  // namespace collapois::sim

@@ -1,0 +1,95 @@
+// Experiment configuration: one struct describing a complete federated
+// poisoning experiment (dataset, federation, algorithm, attack, defense,
+// evaluation cadence). Every bench and example builds one of these and
+// hands it to run_experiment().
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "attacks/dba.h"
+#include "attacks/dpois.h"
+#include "attacks/mrepl.h"
+#include "core/collapois_client.h"
+#include "core/trojan_trainer.h"
+#include "defense/registry.h"
+#include "nn/sgd.h"
+
+namespace collapois::sim {
+
+enum class DatasetKind {
+  femnist_like,    // synthetic image task (FEMNIST substitute)
+  sentiment_like,  // synthetic embedding task (Sentiment140 substitute)
+};
+
+enum class AlgorithmKind { fedavg, feddc, metafed };
+
+enum class AttackKind { none, collapois, dpois, mrepl, dba };
+
+const char* dataset_name(DatasetKind kind);
+const char* algorithm_name(AlgorithmKind kind);
+const char* attack_name(AttackKind kind);
+DatasetKind parse_dataset(const std::string& name);
+AlgorithmKind parse_algorithm(const std::string& name);
+AttackKind parse_attack(const std::string& name);
+
+struct ExperimentConfig {
+  DatasetKind dataset = DatasetKind::femnist_like;
+  AlgorithmKind algorithm = AlgorithmKind::fedavg;
+  AttackKind attack = AttackKind::collapois;
+  defense::DefenseKind defense = defense::DefenseKind::none;
+  defense::DefenseParams defense_params;
+
+  // Federation (paper: 3,400-5,600 clients; simulator defaults are sized
+  // for a 1-core box — COLLAPOIS_SCALE in the benches scales them up).
+  std::size_t n_clients = 100;
+  std::size_t samples_per_client = 80;
+  double alpha = 1.0;              // Dirichlet concentration
+  double compromised_fraction = 0.05;
+  double sample_prob = 0.05;       // q
+  std::size_t rounds = 200;
+  double server_lr = 1.0;          // lambda
+
+  // The attacker's auxiliary set D_a. The threat model (Section IV-A)
+  // defines D_a as the union of the compromised clients' local datasets;
+  // Section V's implementation pools only their validation splits. At
+  // simulator scale the validation pool of a 1%-compromised federation is
+  // a handful of samples, so the default follows the threat model and
+  // pools the full local data (set true to match Section V literally).
+  bool aux_validation_only = false;
+
+  // Local training (Algorithm 1 lines 7-10).
+  nn::SgdConfig local_sgd{.learning_rate = 0.05,
+                          .batch_size = 16,
+                          .epochs = 1,
+                          .weight_decay = 0.0,
+                          .grad_clip = 0.0};
+  double feddc_penalty = 0.1;
+  double metafed_distill_weight = 0.5;
+
+  // Attack parameters.
+  int target_label = 0;
+  // Round at which the attacker strikes. The X-based attacks (CollaPois,
+  // MRepl) wait through `attack_start_round` warmup rounds, then train the
+  // Trojaned model X warm-started from the observed global model theta^t
+  // (compromised clients receive it) — attacking near convergence keeps X
+  // inside the model's low-loss valley, which is what lets the pull
+  // succeed without wrecking clean accuracy (Theorem 2's regime, and the
+  // standard strike timing for replacement attacks [9]). While dormant,
+  // compromised clients behave benignly on their own data. Data-poisoning
+  // attacks (DPois, DBA) ignore this and poison from round 0.
+  std::size_t attack_start_round = 20;
+  core::CollaPoisConfig collapois;  // psi ~ U[0.9, 1] by default
+  attacks::DPoisConfig dpois;
+  attacks::MReplConfig mrepl{.boost = 0.0, .clip = 0.0};  // boost 0 = auto q*N
+  attacks::DbaConfig dba;
+  core::TrojanTrainConfig trojan_train;
+
+  // Evaluation.
+  std::size_t eval_every = 0;        // 0 = final round only
+  std::size_t eval_max_clients = 0;  // 0 = all (final eval is always all)
+
+  std::uint64_t seed = 42;
+};
+
+}  // namespace collapois::sim

@@ -1,0 +1,71 @@
+#include "sim/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace collapois::sim {
+
+void print_series(std::ostream& os, const std::string& title,
+                  const std::vector<SeriesRow>& rows) {
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(48) << "series" << std::right << std::setw(12)
+     << "benign_ac" << std::setw(12) << "attack_sr" << "\n";
+  for (const auto& r : rows) {
+    os << std::left << std::setw(48) << r.label << std::right << std::fixed
+       << std::setprecision(4) << std::setw(12) << r.benign_ac
+       << std::setw(12) << r.attack_sr << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+void print_clusters(std::ostream& os, const std::string& title,
+                    const std::vector<metrics::ClusterResult>& clusters) {
+  os << "== " << title << " ==\n";
+  os << std::left << std::setw(14) << "cluster" << std::right << std::setw(10)
+     << "clients" << std::setw(12) << "benign_ac" << std::setw(12)
+     << "attack_sr" << std::setw(10) << "CS_k" << "\n";
+  for (const auto& c : clusters) {
+    os << std::left << std::setw(14) << c.name << std::right << std::setw(10)
+       << c.client_indices.size() << std::fixed << std::setprecision(4)
+       << std::setw(12) << c.mean_benign_ac << std::setw(12)
+       << c.mean_attack_sr << std::setw(10) << c.label_cosine << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+void print_rounds(std::ostream& os, const std::string& title,
+                  const std::vector<RoundRecord>& rounds) {
+  os << "== " << title << " ==\n";
+  os << std::right << std::setw(7) << "round" << std::setw(12) << "benign_ac"
+     << std::setw(12) << "attack_sr" << std::setw(12) << "dist_to_X" << "\n";
+  for (const auto& r : rounds) {
+    os << std::right << std::setw(7) << r.round << std::fixed
+       << std::setprecision(4);
+    if (r.population.has_value()) {
+      os << std::setw(12) << r.population->benign_ac << std::setw(12)
+         << r.population->attack_sr;
+    } else {
+      os << std::setw(12) << "-" << std::setw(12) << "-";
+    }
+    os << std::setw(12) << r.distance_to_x << "\n";
+    os.unsetf(std::ios::fixed);
+  }
+}
+
+void write_series_csv(std::ostream& os, const std::vector<SeriesRow>& rows) {
+  os << "series,benign_ac,attack_sr\n";
+  for (const auto& r : rows) {
+    os << r.label << ',' << r.benign_ac << ',' << r.attack_sr << "\n";
+  }
+}
+
+std::string experiment_tag(const ExperimentConfig& config) {
+  std::ostringstream ss;
+  ss << dataset_name(config.dataset) << '/' << algorithm_name(config.algorithm)
+     << '/' << attack_name(config.attack) << '/'
+     << defense::defense_name(config.defense) << " a=" << config.alpha
+     << " c=" << config.compromised_fraction;
+  return ss.str();
+}
+
+}  // namespace collapois::sim

@@ -1,0 +1,42 @@
+// Console reporting: fixed-width tables matching the rows/series the
+// paper's figures plot, plus CSV emission for downstream plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.h"
+
+namespace collapois::sim {
+
+// One row of a figure-style series: a labelled (Benign AC, Attack SR)
+// pair, e.g. ("alpha=0.01, collapois", 0.81, 0.88).
+struct SeriesRow {
+  std::string label;
+  double benign_ac = 0.0;
+  double attack_sr = 0.0;
+};
+
+// Render a titled table of rows ("label | benign_ac | attack_sr").
+void print_series(std::ostream& os, const std::string& title,
+                  const std::vector<SeriesRow>& rows);
+
+// Cluster table (Fig. 12-style): name | clients | benign AC | attack SR |
+// CS_k.
+void print_clusters(std::ostream& os, const std::string& title,
+                    const std::vector<metrics::ClusterResult>& clusters);
+
+// Per-round table (Fig. 13-style): round | benign AC | attack SR |
+// dist-to-X.
+void print_rounds(std::ostream& os, const std::string& title,
+                  const std::vector<RoundRecord>& rounds);
+
+// Comma-separated emission of a series for plotting.
+void write_series_csv(std::ostream& os, const std::vector<SeriesRow>& rows);
+
+// Short "dataset/algorithm/attack/defense alpha=..." experiment tag used
+// as a row label.
+std::string experiment_tag(const ExperimentConfig& config);
+
+}  // namespace collapois::sim

@@ -1,0 +1,325 @@
+#include "sim/runner.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "attacks/poison_training_client.h"
+#include "data/partition.h"
+#include "defense/ditto.h"
+#include "data/synthetic_image.h"
+#include "data/synthetic_text.h"
+#include "fl/metafed.h"
+#include "fl/server_algorithm.h"
+#include "nn/zoo.h"
+#include "stats/geometry.h"
+#include "trojan/embedding_trigger.h"
+#include "trojan/patch_trigger.h"
+#include "trojan/poison.h"
+#include "trojan/warp_trigger.h"
+
+namespace collapois::sim {
+
+namespace {
+
+struct Workbench {
+  data::FederatedData fed;
+  nn::Model architecture;                      // shared structure + theta^1
+  std::unique_ptr<trojan::Trigger> eval_trigger;
+  // Per-compromised-client training triggers (DBA parts; otherwise clones
+  // of the evaluation trigger).
+  std::vector<std::unique_ptr<trojan::Trigger>> train_triggers;
+  std::size_t image_h = 0;
+  std::size_t image_w = 0;
+};
+
+Workbench build_workbench(const ExperimentConfig& cfg, stats::Rng& rng) {
+  Workbench wb;
+  if (cfg.dataset == DatasetKind::femnist_like) {
+    data::SyntheticImageConfig icfg;
+    data::SyntheticImageGenerator gen(icfg, rng.next_u64());
+    wb.fed = data::build_federation(gen, cfg.n_clients,
+                                    cfg.samples_per_client, cfg.alpha, rng);
+    nn::LeNetConfig mcfg;
+    mcfg.height = icfg.height;
+    mcfg.width = icfg.width;
+    mcfg.num_classes = icfg.num_classes;
+    wb.architecture = nn::make_lenet_small(mcfg);
+    wb.image_h = icfg.height;
+    wb.image_w = icfg.width;
+
+    const std::uint64_t trigger_seed = rng.next_u64();
+    if (cfg.attack == AttackKind::dba) {
+      wb.eval_trigger = std::make_unique<trojan::PatchTrigger>(
+          trojan::PatchTrigger::global_dba(icfg.height, icfg.width));
+      for (const auto& part :
+           trojan::PatchTrigger::dba_parts(icfg.height, icfg.width)) {
+        wb.train_triggers.push_back(part.clone());
+      }
+    } else {
+      trojan::WarpConfig wcfg;
+      wcfg.height = icfg.height;
+      wcfg.width = icfg.width;
+      wb.eval_trigger =
+          std::make_unique<trojan::WarpTrigger>(wcfg, trigger_seed);
+      wb.train_triggers.push_back(wb.eval_trigger->clone());
+    }
+  } else {
+    data::SyntheticTextConfig tcfg;
+    data::SyntheticTextGenerator gen(tcfg, rng.next_u64());
+    wb.fed = data::build_federation(gen, cfg.n_clients,
+                                    cfg.samples_per_client, cfg.alpha, rng);
+    nn::MlpConfig mcfg;
+    mcfg.input_dim = tcfg.embedding_dim;
+    mcfg.num_classes = tcfg.num_classes;
+    wb.architecture = nn::make_mlp_head(mcfg);
+
+    trojan::EmbeddingTriggerConfig ecfg;
+    ecfg.dim = tcfg.embedding_dim;
+    const trojan::EmbeddingTrigger whole(ecfg, rng.next_u64());
+    wb.eval_trigger = whole.clone();
+    if (cfg.attack == AttackKind::dba) {
+      for (std::size_t k = 0; k < 4; ++k) {
+        wb.train_triggers.push_back(whole.part(k, 4).clone());
+      }
+    } else {
+      wb.train_triggers.push_back(whole.clone());
+    }
+  }
+  wb.architecture.init(rng);
+  return wb;
+}
+
+bool attack_needs_x(AttackKind kind) {
+  return kind == AttackKind::collapois || kind == AttackKind::mrepl;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg,
+                                const RunOptions& options) {
+  if (cfg.rounds == 0) throw std::invalid_argument("run_experiment: 0 rounds");
+  stats::Rng rng(cfg.seed);
+  Workbench wb = build_workbench(cfg, rng);
+  const std::size_t n = cfg.n_clients;
+
+  ExperimentResult result;
+
+  // --- compromised set ------------------------------------------------
+  std::vector<bool> compromised(n, false);
+  if (cfg.attack != AttackKind::none) {
+    std::size_t c = static_cast<std::size_t>(
+        cfg.compromised_fraction * static_cast<double>(n) + 0.5);
+    c = std::max<std::size_t>(c, 1);
+    c = std::min(c, n);
+    result.compromised_ids = rng.sample_without_replacement(n, c);
+    for (std::size_t id : result.compromised_ids) compromised[id] = true;
+  }
+
+  // --- Trojaned model X (Eq. 1) ----------------------------------------
+  data::Dataset auxiliary;
+  if (cfg.attack != AttackKind::none) {
+    std::vector<const data::Dataset*> parts;
+    for (std::size_t id : result.compromised_ids) {
+      parts.push_back(&wb.fed.clients[id].validation);
+      if (!cfg.aux_validation_only) {
+        // Threat-model D_a = union of the compromised clients' local
+        // datasets (see ExperimentConfig::aux_validation_only).
+        parts.push_back(&wb.fed.clients[id].train);
+      }
+    }
+    auxiliary = core::pool_auxiliary_data(parts);
+    if (auxiliary.empty()) {
+      // Degenerate split: fall back to the full local data.
+      parts.clear();
+      for (std::size_t id : result.compromised_ids) {
+        parts.push_back(&wb.fed.clients[id].train);
+      }
+      auxiliary = core::pool_auxiliary_data(parts);
+    }
+    result.auxiliary_histogram = auxiliary.label_histogram();
+  }
+  // --- client population ------------------------------------------------
+  // X-based attack clients start dormant (benign behaviour on their own
+  // data); the attacker strikes at attack_start_round, training X from the
+  // observed global model and arming them (see ExperimentConfig).
+  std::vector<std::unique_ptr<fl::Client>> clients;
+  std::vector<core::CollaPoisClient*> collapois_clients;
+  std::vector<attacks::MReplClient*> mrepl_clients;
+  clients.reserve(n);
+  double mrepl_boost = cfg.mrepl.boost;
+  if (mrepl_boost <= 0.0) {
+    mrepl_boost =
+        std::max(1.0, cfg.sample_prob * static_cast<double>(n)) /
+        cfg.server_lr;
+  }
+  if (cfg.defense == defense::DefenseKind::ditto &&
+      cfg.algorithm != AlgorithmKind::fedavg) {
+    throw std::invalid_argument(
+        "run_experiment: Ditto is a client-side personalization defense "
+        "and composes only with FedAvg");
+  }
+  auto make_benign = [&](std::size_t i, stats::Rng crng)
+      -> std::unique_ptr<fl::Client> {
+    if (cfg.defense == defense::DefenseKind::ditto) {
+      return std::make_unique<defense::DittoClient>(
+          i, &wb.fed.clients[i].train, wb.architecture, cfg.local_sgd,
+          defense::DittoConfig{cfg.defense_params.ditto_lambda, 1},
+          cfg.metafed_distill_weight, std::move(crng));
+    }
+    if (cfg.algorithm == AlgorithmKind::feddc) {
+      return std::make_unique<fl::FedDcClient>(
+          i, &wb.fed.clients[i].train, wb.architecture, cfg.local_sgd,
+          cfg.feddc_penalty, cfg.metafed_distill_weight, std::move(crng));
+    }
+    return std::make_unique<fl::BenignClient>(
+        i, &wb.fed.clients[i].train, wb.architecture, cfg.local_sgd,
+        cfg.metafed_distill_weight, std::move(crng));
+  };
+  std::size_t dba_part = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    stats::Rng crng = rng.fork();
+    if (!compromised[i]) {
+      clients.push_back(make_benign(i, std::move(crng)));
+      continue;
+    }
+    switch (cfg.attack) {
+      case AttackKind::collapois: {
+        auto c = std::make_unique<core::CollaPoisClient>(
+            i, tensor::FlatVec{}, cfg.collapois, crng.fork(),
+            make_benign(i, std::move(crng)));
+        collapois_clients.push_back(c.get());
+        clients.push_back(std::move(c));
+        break;
+      }
+      case AttackKind::mrepl: {
+        attacks::MReplConfig mc = cfg.mrepl;
+        mc.boost = mrepl_boost;
+        auto c = std::make_unique<attacks::MReplClient>(
+            i, tensor::FlatVec{}, mc, make_benign(i, std::move(crng)));
+        mrepl_clients.push_back(c.get());
+        clients.push_back(std::move(c));
+        break;
+      }
+      case AttackKind::dpois:
+        clients.push_back(attacks::make_dpois_client(
+            i, wb.fed.clients[i].train, *wb.train_triggers[0], cfg.dpois,
+            wb.architecture, cfg.local_sgd, cfg.metafed_distill_weight,
+            std::move(crng)));
+        break;
+      case AttackKind::dba: {
+        const auto& part =
+            *wb.train_triggers[dba_part % wb.train_triggers.size()];
+        ++dba_part;
+        data::Dataset poisoned = trojan::mix_poison(
+            wb.fed.clients[i].train, part, cfg.dba.target_label,
+            cfg.dba.poison_fraction, crng);
+        clients.push_back(std::make_unique<attacks::PoisonTrainingClient>(
+            i, std::move(poisoned), wb.architecture, cfg.local_sgd,
+            cfg.metafed_distill_weight, std::move(crng)));
+        break;
+      }
+      case AttackKind::none:
+        throw std::logic_error("unreachable");
+    }
+  }
+
+  // --- federated algorithm ----------------------------------------------
+  std::unique_ptr<fl::FlAlgorithm> algo;
+  if (cfg.algorithm == AlgorithmKind::metafed) {
+    fl::MetaFedConfig mcfg;
+    mcfg.sample_prob = cfg.sample_prob;
+    switch (cfg.defense) {
+      case defense::DefenseKind::none:
+        break;
+      case defense::DefenseKind::dp:
+        mcfg.clip = cfg.defense_params.clip;
+        mcfg.noise_std = cfg.defense_params.noise_multiplier *
+                         cfg.defense_params.clip / 10.0;
+        break;
+      case defense::DefenseKind::norm_bound:
+        mcfg.clip = cfg.defense_params.clip;
+        mcfg.noise_std = cfg.defense_params.noise_std;
+        break;
+      default:
+        throw std::invalid_argument(
+            "run_experiment: aggregation defenses (Krum/RLR/median/...) are "
+            "not applicable to MetaFed");
+    }
+    algo = std::make_unique<fl::MetaFedAlgorithm>(
+        std::move(clients), wb.architecture, mcfg, rng.fork());
+  } else {
+    auto agg = defense::make_defense(cfg.defense, cfg.defense_params,
+                                     rng.fork());
+    fl::ServerConfig scfg;
+    scfg.learning_rate = cfg.server_lr;
+    scfg.sample_prob = cfg.sample_prob;
+    algo = std::make_unique<fl::ServerAlgorithm>(
+        std::string(algorithm_name(cfg.algorithm)),
+        wb.architecture.get_parameters(), std::move(agg), scfg,
+        std::move(clients), rng.fork());
+  }
+
+  // --- round loop ---------------------------------------------------------
+  metrics::EvalConfig periodic_eval;
+  periodic_eval.target_label = cfg.target_label;
+  periodic_eval.max_clients = cfg.eval_max_clients;
+
+  auto arm_attackers = [&]() {
+    if (!attack_needs_x(cfg.attack) || !result.trojaned_model.empty()) return;
+    // The attacker warm-starts X from the current global model (received
+    // by every compromised client) and fine-tunes on D_a union D_a^Troj.
+    nn::Model attacker_model = wb.architecture;
+    attacker_model.set_parameters(algo->global_params());
+    stats::Rng attacker_rng = rng.fork();
+    auto trained = core::train_trojaned_model(std::move(attacker_model),
+                                              auxiliary, *wb.train_triggers[0],
+                                              cfg.trojan_train, attacker_rng);
+    result.trojaned_model = std::move(trained.x);
+    for (auto* c : collapois_clients) {
+      c->set_trojaned_model(result.trojaned_model);
+    }
+    for (auto* c : mrepl_clients) c->set_trojaned_model(result.trojaned_model);
+  };
+
+  for (std::size_t t = 0; t < cfg.rounds; ++t) {
+    if (t >= cfg.attack_start_round) arm_attackers();
+    fl::RoundTelemetry telemetry = algo->run_round();
+    RoundRecord rec;
+    rec.round = t;
+    rec.angles = metrics::summarize_round_angles(telemetry);
+    if (!result.trojaned_model.empty() &&
+        cfg.algorithm != AlgorithmKind::metafed) {
+      rec.distance_to_x = stats::l2_distance(algo->global_params(),
+                                             result.trojaned_model);
+    }
+    if (cfg.eval_every > 0 && (t + 1) % cfg.eval_every == 0) {
+      const auto evals =
+          metrics::evaluate_clients(*algo, wb.fed, *wb.eval_trigger,
+                                    wb.architecture, compromised,
+                                    periodic_eval);
+      rec.population = metrics::average_benign(evals);
+    }
+    result.rounds.push_back(std::move(rec));
+    if (options.keep_telemetry) {
+      result.telemetry.push_back(std::move(telemetry));
+    }
+  }
+
+  // --- final client-level evaluation ---------------------------------------
+  metrics::EvalConfig final_eval;
+  final_eval.target_label = cfg.target_label;
+  final_eval.max_clients = 0;
+  result.final_evals = metrics::evaluate_clients(
+      *algo, wb.fed, *wb.eval_trigger, wb.architecture, compromised,
+      final_eval);
+  result.population = metrics::average_benign(result.final_evals);
+
+  const auto histograms = wb.fed.client_label_histograms();
+  std::vector<double> aux_hist = result.auxiliary_histogram;
+  if (aux_hist.empty()) aux_hist.assign(wb.fed.num_classes, 1.0);
+  result.clusters = metrics::risk_clusters(result.final_evals, {1, 25, 50},
+                                           histograms, aux_hist);
+  return result;
+}
+
+}  // namespace collapois::sim

@@ -1,0 +1,57 @@
+// Experiment runner: wires data -> trojan -> clients -> attack -> defense
+// -> federated algorithm, runs the round loop, and returns everything the
+// benches and examples report (per-round telemetry, per-client final
+// metrics, risk clusters, the Trojaned model X).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fl/server.h"
+#include "metrics/client_metrics.h"
+#include "metrics/clusters.h"
+#include "metrics/telemetry.h"
+#include "sim/config.h"
+
+namespace collapois::sim {
+
+struct RoundRecord {
+  std::size_t round = 0;
+  metrics::RoundAngleSummary angles;
+  // ||theta^t - X|| after the round's update (0 when no attack / no X).
+  double distance_to_x = 0.0;
+  // Population metrics when eval_every hits this round.
+  std::optional<metrics::PopulationMetrics> population;
+};
+
+struct ExperimentResult {
+  // Final client-level evaluation over the full population.
+  std::vector<metrics::ClientEval> final_evals;
+  metrics::PopulationMetrics population;       // benign-client averages
+  std::vector<metrics::ClusterResult> clusters;  // top-1/25/50/bottom
+
+  std::vector<RoundRecord> rounds;
+
+  // The attack's shared Trojaned model X (empty when attack == none).
+  tensor::FlatVec trojaned_model;
+  std::vector<std::size_t> compromised_ids;
+
+  // Raw telemetry of every round (updates are retained only when
+  // keep_telemetry was requested; otherwise each record's updates are
+  // cleared to save memory).
+  std::vector<fl::RoundTelemetry> telemetry;
+
+  // Label histogram of the attacker's auxiliary data D_a.
+  std::vector<double> auxiliary_histogram;
+};
+
+struct RunOptions {
+  // Retain full per-round updates in the result (Figs. 3, 6, 7 and the
+  // detector analyses need them).
+  bool keep_telemetry = false;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const RunOptions& options = {});
+
+}  // namespace collapois::sim

@@ -1,0 +1,99 @@
+#include "stats/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace collapois::stats {
+
+namespace {
+
+void check_same_size(std::size_t a, std::size_t b, const char* who) {
+  if (a != b) throw std::invalid_argument(std::string(who) + ": size mismatch");
+}
+
+}  // namespace
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  check_same_size(a.size(), b.size(), "dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return s;
+}
+
+double l2_norm(std::span<const float> v) {
+  double s = 0.0;
+  for (float x : v) s += static_cast<double>(x) * static_cast<double>(x);
+  return std::sqrt(s);
+}
+
+double l2_distance(std::span<const float> a, std::span<const float> b) {
+  check_same_size(a.size(), b.size(), "l2_distance");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  const double na = l2_norm(a);
+  const double nb = l2_norm(b);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return std::clamp(dot(a, b) / (na * nb), -1.0, 1.0);
+}
+
+double angle_between(std::span<const float> a, std::span<const float> b) {
+  return std::acos(cosine_similarity(a, b));
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  check_same_size(a.size(), b.size(), "dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double l2_norm(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double cosine_similarity(std::span<const double> a,
+                         std::span<const double> b) {
+  const double na = l2_norm(a);
+  const double nb = l2_norm(b);
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return std::clamp(dot(a, b) / (na * nb), -1.0, 1.0);
+}
+
+std::vector<double> pairwise_angles(
+    const std::vector<std::vector<float>>& vectors) {
+  std::vector<double> out;
+  if (vectors.size() < 2) return out;
+  out.reserve(vectors.size() * (vectors.size() - 1) / 2);
+  for (std::size_t i = 0; i + 1 < vectors.size(); ++i) {
+    for (std::size_t j = i + 1; j < vectors.size(); ++j) {
+      out.push_back(angle_between(vectors[i], vectors[j]));
+    }
+  }
+  return out;
+}
+
+std::vector<double> angles_to_reference(
+    const std::vector<std::vector<float>>& vectors,
+    std::span<const float> reference) {
+  std::vector<double> out;
+  out.reserve(vectors.size());
+  for (const auto& v : vectors) {
+    out.push_back(angle_between(v, reference));
+  }
+  return out;
+}
+
+}  // namespace collapois::stats

@@ -1,0 +1,41 @@
+// Flat-vector geometry used everywhere gradients are treated as points in
+// R^m: dot products, norms, cosine similarity, and the angle statistics at
+// the heart of the paper (Figs. 3 and 6, Theorem 1's beta_i angles).
+//
+// Gradients and model parameters are stored as std::vector<float>; the
+// accumulating arithmetic is done in double for stability.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace collapois::stats {
+
+double dot(std::span<const float> a, std::span<const float> b);
+double l2_norm(std::span<const float> v);
+double l2_distance(std::span<const float> a, std::span<const float> b);
+
+// Cosine similarity in [-1, 1]; 0 if either vector is zero.
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+// Angle between two vectors in radians, in [0, pi]; 0 if either is zero.
+double angle_between(std::span<const float> a, std::span<const float> b);
+
+// Double-precision overloads (label distributions in Eq. 9 are doubles).
+double dot(std::span<const double> a, std::span<const double> b);
+double l2_norm(std::span<const double> v);
+double cosine_similarity(std::span<const double> a,
+                         std::span<const double> b);
+
+// Pairwise angles among a set of vectors (upper triangle, i < j), the
+// quantity plotted in Fig. 3.
+std::vector<double> pairwise_angles(
+    const std::vector<std::vector<float>>& vectors);
+
+// Angle of each vector against a fixed reference direction (Theorem 1's
+// beta_i with the aggregated malicious gradient as reference).
+std::vector<double> angles_to_reference(
+    const std::vector<std::vector<float>>& vectors,
+    std::span<const float> reference);
+
+}  // namespace collapois::stats

@@ -1,0 +1,170 @@
+#include "stats/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace collapois::stats {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_int: n must be > 0");
+  // Lemire rejection-free-ish bounded generation with rejection of the
+  // biased tail.
+  const std::uint64_t threshold = (-n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::gamma(double shape) {
+  if (shape <= 0.0) throw std::invalid_argument("gamma: shape must be > 0");
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^{1/a}.
+    const double u = std::max(uniform(), 1e-300);
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia & Tsang method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t dim) {
+  std::vector<double> a(dim, alpha);
+  return dirichlet(a);
+}
+
+std::vector<double> Rng::dirichlet(std::span<const double> alpha) {
+  std::vector<double> out(alpha.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = gamma(alpha[i]);
+    sum += out[i];
+  }
+  if (sum <= 0.0) {
+    // Numerically degenerate (all gammas underflowed, possible for tiny
+    // alpha): fall back to a one-hot draw, which is the Dir(alpha -> 0)
+    // limit.
+    std::fill(out.begin(), out.end(), 0.0);
+    out[static_cast<std::size_t>(uniform_int(out.size()))] = 1.0;
+    return out;
+  }
+  for (auto& v : out) v /= sum;
+  return out;
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("categorical: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("categorical: weights sum to zero");
+  }
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  if (k > n) {
+    throw std::invalid_argument("sample_without_replacement: k > n");
+  }
+  // Partial Fisher-Yates over an index array. For the sizes used here
+  // (n = number of clients) the O(n) allocation is fine.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(uniform_int(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xa5a5a5a5deadbeefULL); }
+
+}  // namespace collapois::stats

@@ -1,0 +1,37 @@
+// Special functions needed by the statistical tests (Section V,
+// "Bypassing Defenses"): log-gamma, regularized incomplete beta, and the
+// distribution functions built on them (normal, Student-t, F,
+// Kolmogorov). Implemented from scratch so the library has no external
+// numerical dependencies.
+#pragma once
+
+namespace collapois::stats {
+
+// Natural log of the Gamma function (Lanczos approximation, |err| < 1e-13
+// for x > 0).
+double log_gamma(double x);
+
+// Regularized incomplete beta function I_x(a, b) for x in [0,1], a,b > 0.
+// Continued-fraction evaluation (Lentz's algorithm).
+double incomplete_beta(double a, double b, double x);
+
+// Standard normal CDF.
+double normal_cdf(double x);
+
+// Standard normal quantile (Acklam's rational approximation refined by one
+// Newton step).
+double normal_quantile(double p);
+
+// Two-sided survival probability of Student's t with `df` degrees of
+// freedom: P(|T| >= |t|).
+double student_t_sf_two_sided(double t, double df);
+
+// Survival function of the F distribution: P(F >= f) with (d1, d2) degrees
+// of freedom.
+double f_sf(double f, double d1, double d2);
+
+// Kolmogorov distribution survival function Q(lambda) = P(sqrt(n) D_n >
+// lambda), asymptotic series. Used for the two-sample KS test p-value.
+double kolmogorov_sf(double lambda);
+
+}  // namespace collapois::stats

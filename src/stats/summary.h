@@ -1,0 +1,63 @@
+// Descriptive statistics over samples, used throughout the telemetry and
+// theory modules (mean/variance of gradient angles, medians for robust
+// aggregation, quantiles for reporting).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace collapois::stats {
+
+// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double variance(std::span<const double> xs);
+
+// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+// Median (copies and nth_element's). 0 for empty input.
+double median(std::span<const double> xs);
+
+// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::span<const double> xs, double q);
+
+// Min / max; 0 for empty input.
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+// Streaming mean/variance accumulator (Welford). Cheap to copy.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Unbiased sample variance.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Summary of a sample, convenient for table printing.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace collapois::stats

@@ -1,0 +1,140 @@
+#include "stats/tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/special.h"
+#include "stats/summary.h"
+
+namespace collapois::stats {
+
+TestResult welch_t_test(std::span<const double> a, std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument("welch_t_test: need >= 2 samples per group");
+  }
+  const double ma = mean(a);
+  const double mb = mean(b);
+  const double va = variance(a);
+  const double vb = variance(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double se2 = va / na + vb / nb;
+  TestResult r;
+  if (se2 <= 0.0) {
+    // Both groups constant: identical means -> p = 1, else p = 0.
+    r.statistic = 0.0;
+    r.p_value = (ma == mb) ? 1.0 : 0.0;
+    return r;
+  }
+  r.statistic = (ma - mb) / std::sqrt(se2);
+  // Welch-Satterthwaite degrees of freedom.
+  const double df = se2 * se2 /
+                    ((va / na) * (va / na) / (na - 1.0) +
+                     (vb / nb) * (vb / nb) / (nb - 1.0));
+  r.p_value = student_t_sf_two_sided(r.statistic, df);
+  return r;
+}
+
+TestResult levene_test(std::span<const double> a, std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument("levene_test: need >= 2 samples per group");
+  }
+  // Brown-Forsythe: absolute deviations from the group medians.
+  const double med_a = median(a);
+  const double med_b = median(b);
+  std::vector<double> za(a.size());
+  std::vector<double> zb(b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) za[i] = std::fabs(a[i] - med_a);
+  for (std::size_t i = 0; i < b.size(); ++i) zb[i] = std::fabs(b[i] - med_b);
+
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double n = na + nb;
+  const double mza = mean(za);
+  const double mzb = mean(zb);
+  const double mz = (na * mza + nb * mzb) / n;
+
+  const double between = na * (mza - mz) * (mza - mz) +
+                         nb * (mzb - mz) * (mzb - mz);
+  double within = 0.0;
+  for (double z : za) within += (z - mza) * (z - mza);
+  for (double z : zb) within += (z - mzb) * (z - mzb);
+
+  TestResult r;
+  if (within <= 0.0) {
+    r.statistic = 0.0;
+    r.p_value = (between <= 0.0) ? 1.0 : 0.0;
+    return r;
+  }
+  const double k = 2.0;  // two groups
+  r.statistic = ((n - k) / (k - 1.0)) * (between / within);
+  r.p_value = f_sf(r.statistic, k - 1.0, n - k);
+  return r;
+}
+
+TestResult ks_test(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_test: empty sample");
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  TestResult r;
+  r.statistic = d;
+  const double ne = na * nb / (na + nb);
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  r.p_value = kolmogorov_sf(lambda);
+  return r;
+}
+
+double three_sigma_outlier_rate(std::span<const double> background,
+                                std::span<const double> points) {
+  if (background.size() < 2 || points.empty()) return 0.0;
+  const double m = mean(background);
+  const double sd = stddev(background);
+  if (sd <= 0.0) {
+    std::size_t out = 0;
+    for (double p : points) out += (p != m) ? 1 : 0;
+    return static_cast<double>(out) / static_cast<double>(points.size());
+  }
+  std::size_t out = 0;
+  for (double p : points) {
+    if (std::fabs(p - m) > 3.0 * sd) ++out;
+  }
+  return static_cast<double>(out) / static_cast<double>(points.size());
+}
+
+double hoeffding_tail(std::size_t n, double eps, double lo, double hi) {
+  if (n == 0 || hi <= lo) return 1.0;
+  const double range = hi - lo;
+  const double t = 2.0 * static_cast<double>(n) * eps * eps / (range * range);
+  return std::min(1.0, 2.0 * std::exp(-t));
+}
+
+double hoeffding_eps(std::size_t n, double delta, double lo, double hi) {
+  if (n == 0 || hi <= lo || delta <= 0.0 || delta >= 1.0) {
+    throw std::invalid_argument("hoeffding_eps: bad arguments");
+  }
+  const double range = hi - lo;
+  return range * std::sqrt(std::log(2.0 / delta) /
+                           (2.0 * static_cast<double>(n)));
+}
+
+}  // namespace collapois::stats

@@ -1,0 +1,47 @@
+// The hypothesis tests the paper's "Bypassing Defenses" evaluation uses to
+// show malicious and benign gradients are statistically indistinguishable:
+// Welch's t-test (means), Levene's test (variances), the two-sample
+// Kolmogorov-Smirnov test (distributions), and the 3-sigma outlier rule.
+// Also the Hoeffding concentration bound used in Theorem 1's approximation
+// error analysis (Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace collapois::stats {
+
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+  // Convenience: reject H0 at the 5% level?
+  bool significant_at_05() const { return p_value < 0.05; }
+};
+
+// Welch's unequal-variance two-sample t-test for equality of means
+// (two-sided). Requires at least 2 samples on each side.
+TestResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+// Levene's test for equality of variances (Brown-Forsythe median-centered
+// variant, the robust form recommended by Lim & Loh [39]).
+TestResult levene_test(std::span<const double> a, std::span<const double> b);
+
+// Two-sample Kolmogorov-Smirnov test with the asymptotic p-value.
+TestResult ks_test(std::span<const double> a, std::span<const double> b);
+
+// Fraction of `points` falling outside mean(background) +/- 3*sd(background)
+// — the 3-sigma outlier rule [41]. The paper reports ~3.5% of malicious
+// gradients flagged, i.e. indistinguishable from the ~0.3%-5% base rate.
+double three_sigma_outlier_rate(std::span<const double> background,
+                                std::span<const double> points);
+
+// Hoeffding bound: for n i.i.d. samples in [lo, hi], the deviation of the
+// sample mean from the true mean exceeds eps with probability at most
+// 2*exp(-2 n eps^2 / (hi-lo)^2). Returns that probability.
+double hoeffding_tail(std::size_t n, double eps, double lo, double hi);
+
+// Inverse use of the bound: the eps such that the tail probability equals
+// `delta` (confidence 1 - delta).
+double hoeffding_eps(std::size_t n, double delta, double lo, double hi);
+
+}  // namespace collapois::stats

@@ -1,0 +1,99 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace collapois::tensor {
+
+void gemm(std::span<const float> a, std::span<const float> b,
+          std::span<float> c, std::size_t m, std::size_t k, std::size_t n) {
+  if (a.size() != m * k || b.size() != k * n || c.size() != m * n) {
+    throw std::invalid_argument("gemm: size mismatch");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) c[i * n + j] = 0.0f;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = a[i * k + p];
+      if (aip == 0.0f) continue;
+      const float* brow = &b[p * n];
+      float* crow = &c[i * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void gemm_at_b_accum(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, std::size_t k, std::size_t m,
+                     std::size_t n) {
+  if (a.size() != k * m || b.size() != k * n || c.size() != m * n) {
+    throw std::invalid_argument("gemm_at_b_accum: size mismatch");
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = &a[p * m];
+    const float* brow = &b[p * n];
+    for (std::size_t i = 0; i < m; ++i) {
+      const float api = arow[i];
+      if (api == 0.0f) continue;
+      float* crow = &c[i * n];
+      for (std::size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt_accum(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, std::size_t m, std::size_t k,
+                     std::size_t n) {
+  if (a.size() != m * k || b.size() != n * k || c.size() != m * n) {
+    throw std::invalid_argument("gemm_a_bt_accum: size mismatch");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = &a[i * k];
+    float* crow = &c[i * n];
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = &b[j * k];
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] += static_cast<float>(s);
+    }
+  }
+}
+
+void gemv(std::span<const float> a, std::span<const float> x,
+          std::span<float> y, std::size_t m, std::size_t n) {
+  if (a.size() != m * n || x.size() != n || y.size() != m) {
+    throw std::invalid_argument("gemv: size mismatch");
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    double s = 0.0;
+    const float* arow = &a[i * n];
+    for (std::size_t j = 0; j < n; ++j) s += arow[j] * x[j];
+    y[i] = static_cast<float>(s);
+  }
+}
+
+float bilinear_sample(const Tensor& image, double y, double x) {
+  if (image.rank() != 2) {
+    throw std::invalid_argument("bilinear_sample: rank-2 image required");
+  }
+  const auto h = static_cast<std::ptrdiff_t>(image.dim(0));
+  const auto w = static_cast<std::ptrdiff_t>(image.dim(1));
+  const auto y0 = static_cast<std::ptrdiff_t>(std::floor(y));
+  const auto x0 = static_cast<std::ptrdiff_t>(std::floor(x));
+  const double fy = y - static_cast<double>(y0);
+  const double fx = x - static_cast<double>(x0);
+
+  auto pixel = [&](std::ptrdiff_t yy, std::ptrdiff_t xx) -> double {
+    if (yy < 0 || yy >= h || xx < 0 || xx >= w) return 0.0;
+    return image.data()[static_cast<std::size_t>(yy * w + xx)];
+  };
+
+  const double v00 = pixel(y0, x0);
+  const double v01 = pixel(y0, x0 + 1);
+  const double v10 = pixel(y0 + 1, x0);
+  const double v11 = pixel(y0 + 1, x0 + 1);
+  const double top = v00 * (1.0 - fx) + v01 * fx;
+  const double bot = v10 * (1.0 - fx) + v11 * fx;
+  return static_cast<float>(top * (1.0 - fy) + bot * fy);
+}
+
+}  // namespace collapois::tensor

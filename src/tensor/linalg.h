@@ -1,0 +1,35 @@
+// Small dense linear algebra kernels for the nn/ substrate: plain
+// triple-loop GEMM/GEMV variants sized for LeNet-scale layers, plus
+// bilinear image sampling used by the WaNet-style warp trigger.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace collapois::tensor {
+
+// C[m x n] = A[m x k] * B[k x n]. C must be pre-sized; it is overwritten.
+void gemm(std::span<const float> a, std::span<const float> b,
+          std::span<float> c, std::size_t m, std::size_t k, std::size_t n);
+
+// C[m x n] += A^T[m x k] * B[k x n] where A is stored as [k x m].
+void gemm_at_b_accum(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, std::size_t k, std::size_t m,
+                     std::size_t n);
+
+// C[m x n] += A[m x k] * B^T[k x n] where B is stored as [n x k].
+void gemm_a_bt_accum(std::span<const float> a, std::span<const float> b,
+                     std::span<float> c, std::size_t m, std::size_t k,
+                     std::size_t n);
+
+// y[m] = A[m x n] * x[n].
+void gemv(std::span<const float> a, std::span<const float> x,
+          std::span<float> y, std::size_t m, std::size_t n);
+
+// Sample image(y, x) with bilinear interpolation and zero padding outside
+// the image. `image` is a rank-2 (H x W) tensor.
+float bilinear_sample(const Tensor& image, double y, double x);
+
+}  // namespace collapois::tensor

@@ -1,0 +1,89 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace collapois::tensor {
+
+namespace {
+
+std::size_t volume(const std::vector<std::size_t>& shape) {
+  std::size_t v = 1;
+  for (std::size_t d : shape) v *= d;
+  return shape.empty() ? 0 : v;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(volume(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != volume(shape_)) {
+    throw std::invalid_argument("Tensor: data size does not match shape");
+  }
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  if (axis >= shape_.size()) {
+    throw std::out_of_range("Tensor::dim: axis out of range");
+  }
+  return shape_[axis];
+}
+
+float& Tensor::at(std::size_t i) {
+  if (rank() != 1 || i >= shape_[0]) throw std::out_of_range("Tensor::at(1)");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  return const_cast<Tensor*>(this)->at(i);
+}
+
+std::size_t Tensor::flat_index(std::size_t i, std::size_t j) const {
+  if (rank() != 2 || i >= shape_[0] || j >= shape_[1]) {
+    throw std::out_of_range("Tensor::at(2)");
+  }
+  return i * shape_[1] + j;
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  return data_[flat_index(i, j)];
+}
+
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return data_[flat_index(i, j)];
+}
+
+std::size_t Tensor::flat_index(std::size_t i, std::size_t j,
+                               std::size_t k) const {
+  if (rank() != 3 || i >= shape_[0] || j >= shape_[1] || k >= shape_[2]) {
+    throw std::out_of_range("Tensor::at(3)");
+  }
+  return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k) {
+  return data_[flat_index(i, j, k)];
+}
+
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k) const {
+  return data_[flat_index(i, j, k)];
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+  if (volume(shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: volume mismatch");
+  }
+  shape_ = std::move(shape);
+}
+
+}  // namespace collapois::tensor

@@ -1,0 +1,61 @@
+// A minimal dense float tensor: contiguous row-major storage plus a shape.
+// This is the data currency of the nn/ and trojan/ substrates (images are
+// rank-3 CHW tensors, embeddings rank-1). Deliberately small: the library
+// only needs what LeNet-scale training and WaNet-style warping require.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace collapois::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape);
+
+  // Tensor adopting existing data; data.size() must equal the shape volume.
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t size() const { return data_.size(); }
+  std::size_t dim(std::size_t axis) const;
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Checked multi-dimensional accessors for the common ranks.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k);
+  float at(std::size_t i, std::size_t j, std::size_t k) const;
+
+  void fill(float value);
+
+  // Reshape in place; new volume must match.
+  void reshape(std::vector<std::size_t> shape);
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::size_t flat_index(std::size_t i, std::size_t j) const;
+  std::size_t flat_index(std::size_t i, std::size_t j, std::size_t k) const;
+
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace collapois::tensor

@@ -1,0 +1,98 @@
+#include "tensor/vecops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/geometry.h"
+
+namespace collapois::tensor {
+
+namespace {
+
+void check_same(std::size_t a, std::size_t b) {
+  if (a != b) throw std::invalid_argument("vecops: size mismatch");
+}
+
+}  // namespace
+
+FlatVec add(std::span<const float> a, std::span<const float> b) {
+  check_same(a.size(), b.size());
+  FlatVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+FlatVec sub(std::span<const float> a, std::span<const float> b) {
+  check_same(a.size(), b.size());
+  FlatVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+FlatVec scale(std::span<const float> a, double s) {
+  FlatVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<float>(s * a[i]);
+  }
+  return out;
+}
+
+void axpy_inplace(FlatVec& a, double s, std::span<const float> b) {
+  check_same(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(a[i] + s * b[i]);
+  }
+}
+
+void scale_inplace(FlatVec& a, double s) {
+  for (auto& x : a) x = static_cast<float>(x * s);
+}
+
+FlatVec zeros(std::size_t n) { return FlatVec(n, 0.0f); }
+
+FlatVec mean_of(const std::vector<FlatVec>& vs) {
+  if (vs.empty()) throw std::invalid_argument("mean_of: empty set");
+  FlatVec out = zeros(vs[0].size());
+  for (const auto& v : vs) axpy_inplace(out, 1.0, v);
+  scale_inplace(out, 1.0 / static_cast<double>(vs.size()));
+  return out;
+}
+
+FlatVec weighted_mean_of(const std::vector<FlatVec>& vs,
+                         std::span<const double> weights) {
+  if (vs.empty()) throw std::invalid_argument("weighted_mean_of: empty set");
+  check_same(vs.size(), weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_mean_of: w < 0");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_mean_of: weights sum to zero");
+  }
+  FlatVec out = zeros(vs[0].size());
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    axpy_inplace(out, weights[i] / total, vs[i]);
+  }
+  return out;
+}
+
+double clip_l2_inplace(FlatVec& v, double bound) {
+  if (bound <= 0.0) throw std::invalid_argument("clip_l2: bound must be > 0");
+  const double n = stats::l2_norm(v);
+  if (n <= bound) return 1.0;
+  const double f = bound / n;
+  scale_inplace(v, f);
+  return f;
+}
+
+void rescale_to_norm_inplace(FlatVec& v, double target) {
+  if (target < 0.0) {
+    throw std::invalid_argument("rescale_to_norm: target must be >= 0");
+  }
+  const double n = stats::l2_norm(v);
+  if (n <= 0.0) return;
+  scale_inplace(v, target / n);
+}
+
+}  // namespace collapois::tensor

@@ -1,0 +1,47 @@
+// Vector arithmetic on flat parameter/gradient vectors (std::vector<float>).
+// These are the primitives FL aggregation, attacks, and defenses compose:
+// the global model, every client update, and the Trojaned model X are all
+// flat vectors in R^m.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace collapois::tensor {
+
+using FlatVec = std::vector<float>;
+
+// out = a + b (sizes must match).
+FlatVec add(std::span<const float> a, std::span<const float> b);
+
+// out = a - b.
+FlatVec sub(std::span<const float> a, std::span<const float> b);
+
+// out = s * a.
+FlatVec scale(std::span<const float> a, double s);
+
+// a += s * b (axpy).
+void axpy_inplace(FlatVec& a, double s, std::span<const float> b);
+
+// a *= s.
+void scale_inplace(FlatVec& a, double s);
+
+// Zero vector of the given size.
+FlatVec zeros(std::size_t n);
+
+// Unweighted element-wise mean of a set of equal-length vectors.
+FlatVec mean_of(const std::vector<FlatVec>& vs);
+
+// Weighted element-wise mean; weights need not be normalized.
+FlatVec weighted_mean_of(const std::vector<FlatVec>& vs,
+                         std::span<const double> weights);
+
+// If ||v||_2 > bound, rescale v to have norm `bound`; otherwise unchanged.
+// Returns the factor applied (1 when unchanged).
+double clip_l2_inplace(FlatVec& v, double bound);
+
+// Rescale v so that ||v||_2 == target (no-op for the zero vector).
+// Used for the tau-upscaling in Theorem 3's stealth analysis.
+void rescale_to_norm_inplace(FlatVec& v, double target);
+
+}  // namespace collapois::tensor

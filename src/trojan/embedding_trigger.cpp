@@ -1,0 +1,58 @@
+#include "trojan/embedding_trigger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace collapois::trojan {
+
+EmbeddingTrigger::EmbeddingTrigger(EmbeddingTriggerConfig config,
+                                   std::uint64_t seed)
+    : config_(config), direction_({config.dim}) {
+  if (config_.dim == 0) {
+    throw std::invalid_argument("EmbeddingTrigger: dim == 0");
+  }
+  stats::Rng rng(seed);
+  double norm2 = 0.0;
+  for (auto& v : direction_.storage()) {
+    v = static_cast<float>(rng.normal());
+    norm2 += static_cast<double>(v) * v;
+  }
+  const double norm = std::sqrt(std::max(norm2, 1e-12));
+  for (auto& v : direction_.storage()) {
+    v = static_cast<float>(v / norm * config_.magnitude);
+  }
+}
+
+Tensor EmbeddingTrigger::apply(const Tensor& x) const {
+  if (x.rank() != 1 || x.dim(0) != config_.dim) {
+    throw std::invalid_argument("EmbeddingTrigger::apply: size mismatch");
+  }
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] += direction_[i];
+  }
+  return out;
+}
+
+std::unique_ptr<Trigger> EmbeddingTrigger::clone() const {
+  return std::make_unique<EmbeddingTrigger>(*this);
+}
+
+EmbeddingTrigger EmbeddingTrigger::part(std::size_t index,
+                                        std::size_t n_parts) const {
+  if (n_parts == 0 || index >= n_parts) {
+    throw std::invalid_argument("EmbeddingTrigger::part: bad index");
+  }
+  EmbeddingTrigger p = *this;
+  const std::size_t dim = config_.dim;
+  const std::size_t chunk = (dim + n_parts - 1) / n_parts;
+  const std::size_t lo = index * chunk;
+  const std::size_t hi = std::min(lo + chunk, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (i < lo || i >= hi) p.direction_[i] = 0.0f;
+  }
+  return p;
+}
+
+}  // namespace collapois::trojan

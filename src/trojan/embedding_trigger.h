@@ -1,0 +1,40 @@
+// Text trigger: the paper follows [36] and uses a fixed term as the text
+// trigger. Behind a frozen encoder, inserting a fixed token into a
+// sentence shifts its pooled embedding by a (roughly) fixed direction —
+// so the trigger on the embedding substrate is the addition of a fixed
+// vector.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/rng.h"
+#include "trojan/trigger.h"
+
+namespace collapois::trojan {
+
+struct EmbeddingTriggerConfig {
+  std::size_t dim = 32;
+  // L2 norm of the trigger direction added to the embedding.
+  double magnitude = 4.0;
+};
+
+class EmbeddingTrigger : public Trigger {
+ public:
+  EmbeddingTrigger(EmbeddingTriggerConfig config, std::uint64_t seed);
+
+  Tensor apply(const Tensor& x) const override;
+  std::unique_ptr<Trigger> clone() const override;
+
+  const Tensor& direction() const { return direction_; }
+
+  // The DBA-style decomposition for embeddings: part k of n adds only the
+  // k-th contiguous dimension segment of the trigger direction; the
+  // assembled whole equals this trigger.
+  EmbeddingTrigger part(std::size_t index, std::size_t n_parts) const;
+
+ private:
+  EmbeddingTriggerConfig config_;
+  Tensor direction_;
+};
+
+}  // namespace collapois::trojan

@@ -1,0 +1,81 @@
+#include "trojan/patch_trigger.h"
+
+#include <stdexcept>
+
+namespace collapois::trojan {
+
+PatchTrigger::PatchTrigger(std::vector<PatchSpec> patches)
+    : patches_(std::move(patches)) {
+  if (patches_.empty()) {
+    throw std::invalid_argument("PatchTrigger: no patches");
+  }
+}
+
+Tensor PatchTrigger::apply(const Tensor& x) const {
+  std::size_t h = 0;
+  std::size_t w = 0;
+  std::size_t channels = 1;
+  if (x.rank() == 2) {
+    h = x.dim(0);
+    w = x.dim(1);
+  } else if (x.rank() == 3) {
+    channels = x.dim(0);
+    h = x.dim(1);
+    w = x.dim(2);
+  } else {
+    throw std::invalid_argument("PatchTrigger::apply: rank-2 or 3 expected");
+  }
+
+  Tensor out = x;
+  for (const auto& p : patches_) {
+    if (p.top + p.height > h || p.left + p.width > w) {
+      throw std::invalid_argument("PatchTrigger::apply: patch out of bounds");
+    }
+    for (std::size_t c = 0; c < channels; ++c) {
+      float* plane = out.data().data() + c * h * w;
+      for (std::size_t y = p.top; y < p.top + p.height; ++y) {
+        for (std::size_t xx = p.left; xx < p.left + p.width; ++xx) {
+          plane[y * w + xx] = p.value;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Trigger> PatchTrigger::clone() const {
+  return std::make_unique<PatchTrigger>(*this);
+}
+
+namespace {
+
+std::vector<PatchSpec> dba_specs(std::size_t height, std::size_t width) {
+  if (height < 6 || width < 6) {
+    throw std::invalid_argument("dba trigger: image too small (need >= 6x6)");
+  }
+  // Four 1x2 strips arranged in a 2x2 layout near the top-left corner,
+  // mirroring DBA's split of a global pattern into local parts.
+  return {
+      {0, 0, 1, 2, 1.0f},
+      {0, 3, 1, 2, 1.0f},
+      {2, 0, 1, 2, 1.0f},
+      {2, 3, 1, 2, 1.0f},
+  };
+}
+
+}  // namespace
+
+PatchTrigger PatchTrigger::global_dba(std::size_t height, std::size_t width) {
+  return PatchTrigger(dba_specs(height, width));
+}
+
+std::vector<PatchTrigger> PatchTrigger::dba_parts(std::size_t height,
+                                                  std::size_t width) {
+  std::vector<PatchTrigger> parts;
+  for (const auto& spec : dba_specs(height, width)) {
+    parts.push_back(PatchTrigger({spec}));
+  }
+  return parts;
+}
+
+}  // namespace collapois::trojan

@@ -1,0 +1,45 @@
+// BadNets-style pixel-patch trigger, and its decomposition into the four
+// sub-patches used by the DBA baseline [8]: in DBA every compromised
+// client trains with one *part* of the global trigger, while the attack is
+// evaluated with the assembled whole.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "trojan/trigger.h"
+
+namespace collapois::trojan {
+
+struct PatchSpec {
+  std::size_t top = 0;
+  std::size_t left = 0;
+  std::size_t height = 2;
+  std::size_t width = 2;
+  float value = 1.0f;
+};
+
+class PatchTrigger : public Trigger {
+ public:
+  // A trigger stamping one or more rectangular patches onto the image.
+  explicit PatchTrigger(std::vector<PatchSpec> patches);
+
+  Tensor apply(const Tensor& x) const override;
+  std::unique_ptr<Trigger> clone() const override;
+
+  const std::vector<PatchSpec>& patches() const { return patches_; }
+
+  // The global DBA trigger for an image of the given size: four small
+  // patches near the top-left corner.
+  static PatchTrigger global_dba(std::size_t height, std::size_t width);
+
+  // The four local sub-triggers whose union is global_dba(...). Element i
+  // stamps only patch i.
+  static std::vector<PatchTrigger> dba_parts(std::size_t height,
+                                             std::size_t width);
+
+ private:
+  std::vector<PatchSpec> patches_;
+};
+
+}  // namespace collapois::trojan

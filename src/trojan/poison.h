@@ -1,0 +1,25 @@
+// Dataset poisoning: the constructions the attacks share.
+//
+// - apply_trigger_all: x -> x + T with labels forced to the target class
+//   (used both to build D_a^Troj and to evaluate Attack SR on test data).
+// - mix_poison: D union D^Troj with a poisoned fraction (Eq. 1's training
+//   set for the Trojaned model X, and DPois's local training set).
+#pragma once
+
+#include "data/dataset.h"
+#include "stats/rng.h"
+#include "trojan/trigger.h"
+
+namespace collapois::trojan {
+
+// Every example trojaned and relabeled to `target_label`.
+data::Dataset apply_trigger_all(const data::Dataset& d, const Trigger& trigger,
+                                int target_label);
+
+// The clean dataset plus a trojaned copy of a random `poison_fraction` of
+// it (labels of the copies forced to `target_label`).
+data::Dataset mix_poison(const data::Dataset& clean, const Trigger& trigger,
+                         int target_label, double poison_fraction,
+                         stats::Rng& rng);
+
+}  // namespace collapois::trojan

@@ -1,0 +1,24 @@
+#include "trojan/trigger.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace collapois::trojan {
+
+Trigger::Distortion Trigger::distortion(const Tensor& x) const {
+  const Tensor t = apply(x);
+  if (t.size() != x.size()) {
+    throw std::logic_error("Trigger::distortion: trigger changed shape");
+  }
+  Distortion d;
+  double sum2 = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double diff = static_cast<double>(t[i]) - x[i];
+    sum2 += diff * diff;
+    d.linf = std::max(d.linf, std::fabs(diff));
+  }
+  d.l2 = std::sqrt(sum2);
+  return d;
+}
+
+}  // namespace collapois::trojan

@@ -1,0 +1,34 @@
+// Backdoor trigger interface. A trigger is the input transformation
+// x -> x + T of Section V's Attack SR definition: applying it to a
+// legitimate sample should cause a backdoored model to predict the
+// attacker's target class (class 0 in the paper) while leaving clean
+// behaviour intact.
+#pragma once
+
+#include <memory>
+
+#include "tensor/tensor.h"
+
+namespace collapois::trojan {
+
+using tensor::Tensor;
+
+class Trigger {
+ public:
+  virtual ~Trigger() = default;
+
+  // Trojaned copy of the input (the input itself is never modified).
+  virtual Tensor apply(const Tensor& x) const = 0;
+
+  virtual std::unique_ptr<Trigger> clone() const = 0;
+
+  // Mean L2 and max-abs per-element distortion the trigger introduces on
+  // the given sample — the imperceptibility measurements behind Fig. 14.
+  struct Distortion {
+    double l2 = 0.0;
+    double linf = 0.0;
+  };
+  Distortion distortion(const Tensor& x) const;
+};
+
+}  // namespace collapois::trojan

@@ -1,0 +1,87 @@
+#include "trojan/warp_trigger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/linalg.h"
+
+namespace collapois::trojan {
+
+WarpTrigger::WarpTrigger(WarpConfig config, std::uint64_t seed)
+    : config_(config), flow_({2, config.height, config.width}) {
+  if (config_.grid < 2) {
+    throw std::invalid_argument("WarpTrigger: grid must be >= 2");
+  }
+  stats::Rng rng(seed);
+
+  // Random control offsets in [-1, 1], normalized by the grid's mean
+  // absolute value (WaNet's normalization), then scaled by strength.
+  const std::size_t g = config_.grid;
+  Tensor ctrl_y({g, g});
+  Tensor ctrl_x({g, g});
+  double mean_abs = 0.0;
+  for (std::size_t i = 0; i < g * g; ++i) {
+    ctrl_y.storage()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    ctrl_x.storage()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+    mean_abs += std::fabs(ctrl_y.storage()[i]) + std::fabs(ctrl_x.storage()[i]);
+  }
+  mean_abs /= static_cast<double>(2 * g * g);
+  const double scale = config_.strength / std::max(mean_abs, 1e-9);
+
+  for (std::size_t y = 0; y < config_.height; ++y) {
+    for (std::size_t x = 0; x < config_.width; ++x) {
+      const double gy = static_cast<double>(y) /
+                        static_cast<double>(config_.height - 1) *
+                        static_cast<double>(g - 1);
+      const double gx = static_cast<double>(x) /
+                        static_cast<double>(config_.width - 1) *
+                        static_cast<double>(g - 1);
+      flow_.at(0, y, x) =
+          static_cast<float>(tensor::bilinear_sample(ctrl_y, gy, gx) * scale);
+      flow_.at(1, y, x) =
+          static_cast<float>(tensor::bilinear_sample(ctrl_x, gy, gx) * scale);
+    }
+  }
+}
+
+Tensor WarpTrigger::apply(const Tensor& x) const {
+  const std::size_t h = config_.height;
+  const std::size_t w = config_.width;
+  std::size_t channels = 1;
+  if (x.rank() == 2) {
+    if (x.dim(0) != h || x.dim(1) != w) {
+      throw std::invalid_argument("WarpTrigger::apply: size mismatch");
+    }
+  } else if (x.rank() == 3) {
+    channels = x.dim(0);
+    if (x.dim(1) != h || x.dim(2) != w) {
+      throw std::invalid_argument("WarpTrigger::apply: size mismatch");
+    }
+  } else {
+    throw std::invalid_argument("WarpTrigger::apply: rank-2 or 3 expected");
+  }
+
+  Tensor out = x;
+  for (std::size_t c = 0; c < channels; ++c) {
+    // View one channel as an H x W image for bilinear sampling.
+    Tensor plane({h, w});
+    const float* src = x.data().data() + c * h * w;
+    std::copy(src, src + h * w, plane.data().begin());
+    float* dst = out.data().data() + c * h * w;
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t xx = 0; xx < w; ++xx) {
+        const double sy = static_cast<double>(y) + flow_.at(0, y, xx);
+        const double sx = static_cast<double>(xx) + flow_.at(1, y, xx);
+        dst[y * w + xx] = tensor::bilinear_sample(plane, sy, sx);
+      }
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Trigger> WarpTrigger::clone() const {
+  return std::make_unique<WarpTrigger>(*this);
+}
+
+}  // namespace collapois::trojan

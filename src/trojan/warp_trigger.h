@@ -1,0 +1,49 @@
+// WaNet-style image-warping trigger [25].
+//
+// WaNet builds a fixed smooth warping field: a small random control grid
+// of 2-D offsets, bilinearly upsampled to image resolution and scaled so
+// the per-pixel displacement stays well under one pixel. The trojaned
+// image is the backward-warp of the original through that field — visually
+// near-identical (Fig. 14) yet a reliable trigger.
+#pragma once
+
+#include <cstdint>
+
+#include "stats/rng.h"
+#include "trojan/trigger.h"
+
+namespace collapois::trojan {
+
+struct WarpConfig {
+  std::size_t height = 16;
+  std::size_t width = 16;
+  // Control grid resolution (WaNet's k; k=4 in the paper's settings).
+  std::size_t grid = 4;
+  // Warping strength s: typical displacement in pixels. WaNet's s=0.5 on
+  // 28x28 natural images; the synthetic 16x16 substrate needs a slightly
+  // stronger field for the backdoor to be learnable from auxiliary sets
+  // of tens of samples (still visually mild, see Fig. 14 bench).
+  double strength = 1.5;
+};
+
+class WarpTrigger : public Trigger {
+ public:
+  // The field is fixed at construction from `seed` — the same Trojan is
+  // shared by the attacker and all compromised clients.
+  WarpTrigger(WarpConfig config, std::uint64_t seed);
+
+  // Accepts [H, W] or [C, H, W] tensors matching the configured size.
+  Tensor apply(const Tensor& x) const override;
+  std::unique_ptr<Trigger> clone() const override;
+
+  const WarpConfig& config() const { return config_; }
+
+  // The dense flow field, shape [2, H, W] (dy then dx), for inspection.
+  const Tensor& flow() const { return flow_; }
+
+ private:
+  WarpConfig config_;
+  Tensor flow_;
+};
+
+}  // namespace collapois::trojan

@@ -1,0 +1,282 @@
+// Tests for the defense suite: each aggregation rule's defining behaviour,
+// robustness properties under an injected outlier, permutation invariance
+// across all aggregators (TEST_P), the registry, and the statistical
+// detector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "defense/detector.h"
+#include "defense/krum.h"
+#include "defense/median.h"
+#include "defense/normbound.h"
+#include "defense/registry.h"
+#include "defense/rlr.h"
+#include "stats/geometry.h"
+
+namespace collapois::defense {
+namespace {
+
+std::vector<fl::ClientUpdate> cluster_plus_outlier() {
+  // Five updates near (1, 1, ...), one wild outlier.
+  std::vector<fl::ClientUpdate> updates;
+  for (int i = 0; i < 5; ++i) {
+    fl::ClientUpdate u;
+    u.client_id = static_cast<std::size_t>(i);
+    u.delta = tensor::FlatVec(8, 1.0f + 0.01f * static_cast<float>(i * i));
+    updates.push_back(std::move(u));
+  }
+  fl::ClientUpdate outlier;
+  outlier.client_id = 5;
+  outlier.delta = tensor::FlatVec(8, -100.0f);
+  updates.push_back(std::move(outlier));
+  return updates;
+}
+
+TEST(Krum, SelectsCentralUpdateAndDropsOutlier) {
+  KrumAggregator krum(KrumConfig{1, 1});
+  const auto updates = cluster_plus_outlier();
+  const auto out = krum.aggregate(updates, {});
+  EXPECT_NEAR(out[0], 1.0f, 0.1f);
+  ASSERT_EQ(krum.last_selected().size(), 1u);
+  EXPECT_NE(krum.last_selected()[0], 5u);
+}
+
+TEST(Krum, MultiKrumAveragesTopM) {
+  KrumAggregator krum(KrumConfig{1, 3});
+  const auto updates = cluster_plus_outlier();
+  const auto out = krum.aggregate(updates, {});
+  EXPECT_EQ(krum.last_selected().size(), 3u);
+  EXPECT_NEAR(out[0], 1.0f, 0.1f);
+  EXPECT_EQ(krum.name(), "multi-krum");
+}
+
+TEST(Krum, SingleUpdatePassthrough) {
+  KrumAggregator krum(KrumConfig{1, 1});
+  std::vector<fl::ClientUpdate> one(1);
+  one[0].delta = {3.0f, 4.0f};
+  EXPECT_EQ(krum.aggregate(one, {}), (tensor::FlatVec{3.0f, 4.0f}));
+  EXPECT_THROW(krum.aggregate({}, {}), std::invalid_argument);
+  EXPECT_THROW(KrumAggregator(KrumConfig{1, 0}), std::invalid_argument);
+}
+
+TEST(CoordMedian, IgnoresOutlier) {
+  CoordMedianAggregator median;
+  const auto updates = cluster_plus_outlier();
+  const auto out = median.aggregate(updates, {});
+  for (float v : out) EXPECT_NEAR(v, 1.0f, 0.05f);
+}
+
+TEST(CoordMedian, OddAndEvenCounts) {
+  CoordMedianAggregator median;
+  std::vector<fl::ClientUpdate> updates(3);
+  updates[0].delta = {1.0f};
+  updates[1].delta = {2.0f};
+  updates[2].delta = {9.0f};
+  EXPECT_EQ(median.aggregate(updates, {})[0], 2.0f);
+  updates.resize(4);
+  updates[3].delta = {3.0f};
+  EXPECT_NEAR(median.aggregate(updates, {})[0], 2.5f, 1e-6);
+}
+
+TEST(TrimmedMean, DropsExtremes) {
+  TrimmedMeanAggregator tm(0.2);  // trims 1 of 6 from each side
+  const auto updates = cluster_plus_outlier();
+  const auto out = tm.aggregate(updates, {});
+  for (float v : out) EXPECT_NEAR(v, 1.0f, 0.05f);
+  EXPECT_THROW(TrimmedMeanAggregator(0.5), std::invalid_argument);
+  EXPECT_THROW(TrimmedMeanAggregator(-0.1), std::invalid_argument);
+}
+
+TEST(NormBound, ClipsBeforeAveraging) {
+  NormBoundAggregator nb(NormBoundConfig{1.0, 0.0},
+                         std::make_unique<fl::FedAvgAggregator>(),
+                         stats::Rng(1));
+  std::vector<fl::ClientUpdate> updates(2);
+  updates[0].delta = {10.0f, 0.0f};  // norm 10 -> clipped to 1
+  updates[1].delta = {0.0f, 0.0f};
+  const auto out = nb.aggregate(updates, {});
+  EXPECT_NEAR(out[0], 0.5f, 1e-5);
+  EXPECT_THROW(NormBoundAggregator(NormBoundConfig{0.0, 0.0},
+                                   std::make_unique<fl::FedAvgAggregator>(),
+                                   stats::Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(NormBound, NoiseIsInjected) {
+  NormBoundAggregator nb(NormBoundConfig{1.0, 0.5},
+                         std::make_unique<fl::FedAvgAggregator>(),
+                         stats::Rng(2));
+  std::vector<fl::ClientUpdate> updates(1);
+  updates[0].delta = tensor::FlatVec(64, 0.0f);
+  const auto out = nb.aggregate(updates, {});
+  EXPECT_GT(stats::l2_norm(out), 0.0);
+}
+
+TEST(Dp, NoiseScalesWithUpdateCount) {
+  // sigma = z * clip / n: more participants -> less noise.
+  auto run = [](std::size_t n) {
+    DpAggregator dp(DpConfig{1.0, 1.0},
+                    std::make_unique<fl::FedAvgAggregator>(), stats::Rng(3));
+    std::vector<fl::ClientUpdate> updates(n);
+    for (auto& u : updates) u.delta = tensor::FlatVec(256, 0.0f);
+    return stats::l2_norm(dp.aggregate(updates, {}));
+  };
+  EXPECT_GT(run(2), run(20) * 2.0);
+}
+
+TEST(Rlr, FlipsWeaklyAgreedCoordinates) {
+  RlrAggregator rlr(RlrConfig{3.0});
+  std::vector<fl::ClientUpdate> updates(3);
+  // Coordinate 0: all agree (+); coordinate 1: split 2 vs 1.
+  updates[0].delta = {1.0f, 1.0f};
+  updates[1].delta = {1.0f, 1.0f};
+  updates[2].delta = {1.0f, -4.0f};
+  const auto out = rlr.aggregate(updates, {});
+  EXPECT_NEAR(out[0], 1.0f, 1e-6);             // kept
+  EXPECT_NEAR(out[1], -(-2.0f / 3.0f), 1e-5);  // flipped mean
+}
+
+TEST(SignSgd, MajorityVote) {
+  SignSgdAggregator ss(SignSgdConfig{0.1});
+  std::vector<fl::ClientUpdate> updates(3);
+  updates[0].delta = {1.0f, -1.0f, 0.0f};
+  updates[1].delta = {2.0f, -2.0f, 0.0f};
+  updates[2].delta = {-1.0f, -5.0f, 0.0f};
+  const auto out = ss.aggregate(updates, {});
+  EXPECT_NEAR(out[0], 0.1f, 1e-6);
+  EXPECT_NEAR(out[1], -0.1f, 1e-6);
+  EXPECT_NEAR(out[2], 0.0f, 1e-6);
+  EXPECT_THROW(SignSgdAggregator(SignSgdConfig{0.0}), std::invalid_argument);
+}
+
+// Permutation invariance: every aggregation rule must be independent of
+// the order clients report in (a basic correctness property the server
+// relies on).
+class AggregatorPermutation : public ::testing::TestWithParam<DefenseKind> {};
+
+TEST_P(AggregatorPermutation, OrderDoesNotMatter) {
+  DefenseParams params;
+  auto agg = make_defense(GetParam(), params, stats::Rng(4));
+  // Noise-injecting defenses are only invariant in distribution; disable
+  // noise for the check.
+  if (GetParam() == DefenseKind::dp) {
+    params.noise_multiplier = 0.0;
+    agg = make_defense(GetParam(), params, stats::Rng(4));
+  }
+  if (GetParam() == DefenseKind::norm_bound) {
+    params.noise_std = 0.0;
+    agg = make_defense(GetParam(), params, stats::Rng(4));
+  }
+  auto updates = cluster_plus_outlier();
+  const tensor::FlatVec global(8, 0.0f);
+  const auto forward = agg->aggregate(updates, global);
+  std::reverse(updates.begin(), updates.end());
+  auto agg2 = make_defense(GetParam(), params, stats::Rng(4));
+  const auto reversed = agg2->aggregate(updates, global);
+  ASSERT_EQ(forward.size(), reversed.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_NEAR(forward[i], reversed[i], 1e-4) << "coord " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDefenses, AggregatorPermutation,
+    ::testing::Values(DefenseKind::none, DefenseKind::dp,
+                      DefenseKind::norm_bound, DefenseKind::krum,
+                      DefenseKind::multi_krum, DefenseKind::coord_median,
+                      DefenseKind::trimmed_mean, DefenseKind::rlr,
+                      DefenseKind::sign_sgd));
+
+TEST(Registry, NameRoundTrip) {
+  for (DefenseKind k :
+       {DefenseKind::none, DefenseKind::dp, DefenseKind::norm_bound,
+        DefenseKind::krum, DefenseKind::multi_krum, DefenseKind::coord_median,
+        DefenseKind::trimmed_mean, DefenseKind::rlr, DefenseKind::sign_sgd}) {
+    EXPECT_EQ(parse_defense(defense_name(k)), k);
+  }
+  EXPECT_THROW(parse_defense("bogus"), std::invalid_argument);
+}
+
+TEST(Registry, TableHasExpectedShape) {
+  const auto table = defense_registry();
+  EXPECT_GE(table.size(), 7u);
+  int metafed_applicable = 0;
+  for (const auto& row : table) {
+    EXPECT_FALSE(row.method.empty());
+    EXPECT_FALSE(row.description.empty());
+    if (row.applicable_to_metafed) ++metafed_applicable;
+  }
+  // Only the clip/noise defenses compose with MetaFed (paper: Krum and
+  // RLR are not applicable).
+  EXPECT_EQ(metafed_applicable, 2);
+}
+
+TEST(Detector, DistinguishesBlatantAttack) {
+  // Benign cluster around +1; malicious cluster around -1 (opposite
+  // direction, larger magnitude): the tests must reject.
+  std::vector<fl::ClientUpdate> updates;
+  std::vector<bool> flags;
+  stats::Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    fl::ClientUpdate u;
+    u.delta = tensor::FlatVec(16);
+    for (auto& v : u.delta) v = static_cast<float>(1.0 + rng.normal(0, 0.1));
+    updates.push_back(std::move(u));
+    flags.push_back(false);
+  }
+  for (int i = 0; i < 6; ++i) {
+    fl::ClientUpdate u;
+    u.delta = tensor::FlatVec(16);
+    for (auto& v : u.delta) v = static_cast<float>(-3.0 + rng.normal(0, 0.1));
+    updates.push_back(std::move(u));
+    flags.push_back(true);
+  }
+  const DetectionReport r = analyze_round(updates, flags);
+  EXPECT_TRUE(r.distinguishable());
+  EXPECT_GT(r.three_sigma_rate, 0.9);
+}
+
+TEST(Detector, PassesMatchedPopulations) {
+  std::vector<fl::ClientUpdate> updates;
+  std::vector<bool> flags;
+  stats::Rng rng(6);
+  for (int i = 0; i < 40; ++i) {
+    fl::ClientUpdate u;
+    u.delta = tensor::FlatVec(16);
+    for (auto& v : u.delta) v = static_cast<float>(1.0 + rng.normal(0, 0.3));
+    updates.push_back(std::move(u));
+    flags.push_back(i < 8);  // the "malicious" group is drawn identically
+  }
+  const DetectionReport r = analyze_round(updates, flags);
+  EXPECT_FALSE(r.distinguishable());
+  EXPECT_LT(r.three_sigma_rate, 0.2);
+}
+
+TEST(Detector, NoPowerWithTinyGroups) {
+  std::vector<fl::ClientUpdate> updates(3);
+  for (auto& u : updates) u.delta = tensor::FlatVec(4, 1.0f);
+  updates[2].delta = tensor::FlatVec(4, -9.0f);
+  const std::vector<bool> flags = {false, false, true};
+  const DetectionReport r = analyze_round(updates, flags);
+  // One malicious sample: the two-sample tests cannot run; all-pass.
+  EXPECT_FALSE(r.distinguishable());
+  EXPECT_THROW(analyze_round(updates, std::vector<bool>{true}),
+               std::invalid_argument);
+}
+
+TEST(Detector, FeatureExtraction) {
+  std::vector<fl::ClientUpdate> updates(2);
+  updates[0].delta = {1.0f, 0.0f};
+  updates[1].delta = {0.0f, 1.0f};
+  const auto f = extract_features(updates);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_NEAR(f[0].norm, 1.0, 1e-6);
+  // Mean direction is the diagonal: both at 45 degrees.
+  EXPECT_NEAR(f[0].angle_to_mean, M_PI / 4.0, 1e-5);
+  EXPECT_THROW(extract_features({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace collapois::defense

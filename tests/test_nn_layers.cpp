@@ -1,0 +1,226 @@
+// Layer-level tests: shapes, clone semantics, and — most importantly —
+// numerical gradient checks of every differentiable layer and of a full
+// LeNet-style model (central finite differences against the analytic
+// backward pass).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/model.h"
+#include "nn/zoo.h"
+#include "stats/rng.h"
+
+namespace collapois::nn {
+namespace {
+
+// Scalar loss for gradient checking: sum of squares of the output.
+double half_sq(const Tensor& t) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    s += 0.5 * static_cast<double>(t[i]) * t[i];
+  }
+  return s;
+}
+
+Tensor half_sq_grad(const Tensor& t) { return t; }
+
+// Verify dL/dparams and dL/dinput for a model against finite differences.
+void check_gradients(Model& model, Tensor input, double tol = 2e-2) {
+  model.zero_grad();
+  const Tensor out = model.forward(input);
+  model.backward(half_sq_grad(out));
+  const tensor::FlatVec analytic_p = model.get_gradients();
+  const tensor::FlatVec params = model.get_parameters();
+
+  const double eps = 1e-3;
+  // Parameter gradients (probe a strided subset for speed).
+  const std::size_t stride = std::max<std::size_t>(1, params.size() / 50);
+  for (std::size_t i = 0; i < params.size(); i += stride) {
+    tensor::FlatVec p = params;
+    p[i] = static_cast<float>(p[i] + eps);
+    model.set_parameters(p);
+    const double up = half_sq(model.forward(input));
+    p[i] = static_cast<float>(p[i] - 2 * eps);
+    model.set_parameters(p);
+    const double down = half_sq(model.forward(input));
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic_p[i], numeric,
+                tol * std::max(1.0, std::fabs(numeric)))
+        << "param index " << i;
+  }
+  model.set_parameters(params);
+}
+
+TEST(Dense, ForwardKnownValues) {
+  Dense d(2, 2);
+  // W = [[1, 2], [3, 4]], b = [0.5, -0.5].
+  auto p = d.parameters();
+  p[0] = 1; p[1] = 2; p[2] = 3; p[3] = 4; p[4] = 0.5f; p[5] = -0.5f;
+  Tensor x({1, 2}, {1.0f, 1.0f});
+  const Tensor y = d.forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<std::size_t>{1, 2}));
+  EXPECT_NEAR(y[0], 3.5f, 1e-6);  // 1+2+0.5
+  EXPECT_NEAR(y[1], 6.5f, 1e-6);  // 3+4-0.5
+}
+
+TEST(Dense, RejectsWrongInput) {
+  Dense d(3, 2);
+  Tensor bad({1, 4});
+  EXPECT_THROW(d.forward(bad), std::invalid_argument);
+  EXPECT_THROW(Dense(0, 1), std::invalid_argument);
+}
+
+TEST(Dense, GradientCheck) {
+  stats::Rng rng(1);
+  Model m;
+  m.add(std::make_unique<Dense>(4, 3));
+  m.init(rng);
+  Tensor x({2, 4});
+  for (auto& v : x.storage()) v = static_cast<float>(rng.normal());
+  check_gradients(m, x);
+}
+
+TEST(Relu, ForwardBackward) {
+  Relu r;
+  Tensor x({1, 4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  const Tensor y = r.forward(x);
+  EXPECT_EQ(y.storage(), (std::vector<float>{0, 0, 2, 0}));
+  Tensor g({1, 4}, {1, 1, 1, 1});
+  const Tensor gi = r.backward(g);
+  EXPECT_EQ(gi.storage(), (std::vector<float>{0, 0, 1, 0}));
+}
+
+TEST(Conv2d, OutputShape) {
+  Conv2d c(1, 2, 3, 1);  // pad 1 keeps spatial dims
+  Tensor x({2, 1, 8, 8});
+  const Tensor y = c.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 2, 8, 8}));
+  Conv2d valid(1, 1, 3, 0);
+  EXPECT_EQ(valid.forward(x).shape(), (std::vector<std::size_t>{2, 1, 6, 6}));
+}
+
+TEST(Conv2d, KnownConvolution) {
+  Conv2d c(1, 1, 2, 0);
+  auto p = c.parameters();
+  // Kernel = [[1, 0], [0, 1]] (trace), bias 0.
+  p[0] = 1; p[1] = 0; p[2] = 0; p[3] = 1; p[4] = 0;
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor y = c.forward(x);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_NEAR(y[0], 5.0f, 1e-6);  // 1 + 4
+}
+
+TEST(Conv2d, GradientCheck) {
+  stats::Rng rng(2);
+  Model m;
+  m.add(std::make_unique<Conv2d>(1, 2, 3, 1));
+  m.init(rng);
+  Tensor x({1, 1, 6, 6});
+  for (auto& v : x.storage()) v = static_cast<float>(rng.normal());
+  check_gradients(m, x);
+}
+
+TEST(MaxPool2d, ForwardSelectsMaxAndRoutesGradient) {
+  MaxPool2d pool;
+  Tensor x({1, 1, 2, 2}, {1, 5, 3, 2});
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_EQ(y[0], 5.0f);
+  Tensor g({1, 1, 1, 1}, {2.0f});
+  const Tensor gi = pool.backward(g);
+  EXPECT_EQ(gi.storage(), (std::vector<float>{0, 2, 0, 0}));
+}
+
+TEST(MaxPool2d, RejectsOddDims) {
+  MaxPool2d pool;
+  Tensor x({1, 1, 3, 4});
+  EXPECT_THROW(pool.forward(x), std::invalid_argument);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten f;
+  Tensor x({2, 3, 4});
+  const Tensor y = f.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 12}));
+  const Tensor back = f.backward(y);
+  EXPECT_EQ(back.shape(), (std::vector<std::size_t>{2, 3, 4}));
+}
+
+TEST(Model, ParameterRoundTrip) {
+  stats::Rng rng(3);
+  Model m = make_mlp_head({.input_dim = 8, .hidden = 6, .num_classes = 3,
+                           .num_hidden_layers = 2});
+  m.init(rng);
+  const tensor::FlatVec p = m.get_parameters();
+  EXPECT_EQ(p.size(), m.num_parameters());
+  tensor::FlatVec changed = p;
+  for (auto& v : changed) v += 1.0f;
+  m.set_parameters(changed);
+  EXPECT_EQ(m.get_parameters(), changed);
+  EXPECT_THROW(m.set_parameters(std::vector<float>(3)),
+               std::invalid_argument);
+}
+
+TEST(Model, CopyIsDeep) {
+  stats::Rng rng(4);
+  Model a = make_mlp_head({.input_dim = 4, .hidden = 4, .num_classes = 2,
+                           .num_hidden_layers = 1});
+  a.init(rng);
+  Model b = a;
+  tensor::FlatVec pb = b.get_parameters();
+  pb[0] += 10.0f;
+  b.set_parameters(pb);
+  EXPECT_NE(a.get_parameters()[0], b.get_parameters()[0]);
+}
+
+TEST(Model, LeNetShapesAndGradients) {
+  stats::Rng rng(5);
+  Model m = make_lenet_small({.height = 8,
+                              .width = 8,
+                              .num_classes = 4,
+                              .conv1_channels = 2,
+                              .conv2_channels = 3,
+                              .hidden = 8});
+  m.init(rng);
+  Tensor x({1, 1, 8, 8});
+  for (auto& v : x.storage()) v = static_cast<float>(rng.uniform());
+  const Tensor y = m.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 4}));
+  check_gradients(m, x, 5e-2);
+}
+
+TEST(Model, SgdStepMovesAgainstGradient) {
+  stats::Rng rng(6);
+  Model m;
+  m.add(std::make_unique<Dense>(2, 1));
+  m.init(rng);
+  Tensor x({1, 2}, {1.0f, 1.0f});
+  m.zero_grad();
+  const Tensor out = m.forward(x);
+  m.backward(half_sq_grad(out));
+  const double before = half_sq(m.forward(x));
+  m.sgd_step(0.05);
+  const double after = half_sq(m.forward(x));
+  EXPECT_LT(after, before);
+}
+
+TEST(Model, ZooRejectsBadConfigs) {
+  EXPECT_THROW(make_lenet_small({.height = 10, .width = 8}),
+               std::invalid_argument);
+  EXPECT_THROW(make_mlp_head({.num_hidden_layers = 0}), std::invalid_argument);
+}
+
+TEST(Zoo, LeNetDefaultMatchesImageSubstrate) {
+  // The default LeNet must accept the default synthetic image shape.
+  stats::Rng rng(7);
+  Model m = make_lenet_small({});
+  m.init(rng);
+  Tensor x({1, 1, 16, 16});
+  EXPECT_EQ(m.forward(x).shape(), (std::vector<std::size_t>{1, 10}));
+}
+
+}  // namespace
+}  // namespace collapois::nn

@@ -1,0 +1,221 @@
+// Training-level tests: losses, the SGD loops (plain, distillation,
+// proximal), and end-to-end learnability on controlled tasks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic_text.h"
+#include "nn/eval.h"
+#include "nn/loss.h"
+#include "nn/sgd.h"
+#include "nn/zoo.h"
+#include "stats/geometry.h"
+
+namespace collapois::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits({2, 3}, {1.0f, 2.0f, 3.0f, -5.0f, 0.0f, 5.0f});
+  const Tensor p = softmax(logits);
+  for (std::size_t b = 0; b < 2; ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += p.at(b, c);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+  EXPECT_GT(p.at(0, 2), p.at(0, 0));
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  Tensor logits({1, 2}, {1000.0f, 999.0f});
+  const Tensor p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits({1, 3}, {20.0f, -10.0f, -10.0f});
+  const std::vector<int> label = {0};
+  const auto res = softmax_cross_entropy(logits, label);
+  EXPECT_LT(res.loss, 1e-6);
+}
+
+TEST(CrossEntropy, UniformPredictionLogC) {
+  Tensor logits({1, 4}, {0.0f, 0.0f, 0.0f, 0.0f});
+  const std::vector<int> label = {2};
+  const auto res = softmax_cross_entropy(logits, label);
+  EXPECT_NEAR(res.loss, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, GradientSumsToZeroPerRow) {
+  Tensor logits({2, 3}, {0.5f, -0.2f, 1.0f, 2.0f, 0.0f, -1.0f});
+  const std::vector<int> labels = {1, 0};
+  const auto res = softmax_cross_entropy(logits, labels);
+  for (std::size_t b = 0; b < 2; ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += res.grad_logits.at(b, c);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  Tensor logits({1, 3});
+  const std::vector<int> bad = {3};
+  EXPECT_THROW(softmax_cross_entropy(logits, bad), std::invalid_argument);
+}
+
+TEST(SoftCrossEntropy, MatchesHardOnOneHot) {
+  Tensor logits({1, 3}, {0.3f, 1.2f, -0.5f});
+  const std::vector<int> label = {1};
+  Tensor onehot({1, 3}, {0.0f, 1.0f, 0.0f});
+  const auto hard = softmax_cross_entropy(logits, label);
+  const auto soft = soft_cross_entropy(logits, onehot);
+  EXPECT_NEAR(hard.loss, soft.loss, 1e-6);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(hard.grad_logits[i], soft.grad_logits[i], 1e-6);
+  }
+}
+
+TEST(ArgmaxRows, PicksMaxPerRow) {
+  Tensor logits({2, 3}, {1.0f, 5.0f, 2.0f, 9.0f, 0.0f, 3.0f});
+  const auto preds = argmax_rows(logits);
+  EXPECT_EQ(preds, (std::vector<int>{1, 0}));
+}
+
+class TrainingFixture : public ::testing::Test {
+ protected:
+  TrainingFixture() : rng_(42), gen_({}, 7) {
+    const std::vector<std::size_t> counts = {60, 60};
+    train_ = gen_.generate(counts, rng_);
+    test_ = gen_.generate(counts, rng_);
+  }
+
+  Model fresh_model() {
+    Model m = make_mlp_head({.input_dim = 32, .hidden = 16, .num_classes = 2,
+                             .num_hidden_layers = 1});
+    m.init(rng_);
+    return m;
+  }
+
+  stats::Rng rng_;
+  data::SyntheticTextGenerator gen_;
+  data::Dataset train_;
+  data::Dataset test_;
+};
+
+TEST_F(TrainingFixture, SgdLearnsSeparableTask) {
+  Model m = fresh_model();
+  const double before = accuracy(m, test_);
+  SgdConfig cfg{.learning_rate = 0.05, .batch_size = 16, .epochs = 20};
+  const double loss = train_sgd(m, train_, cfg, rng_);
+  const double after = accuracy(m, test_);
+  EXPECT_LT(loss, 0.5);
+  EXPECT_GT(after, 0.85);
+  EXPECT_GT(after, before);
+}
+
+TEST_F(TrainingFixture, LossDecreasesAcrossEpochs) {
+  Model m = fresh_model();
+  SgdConfig one{.learning_rate = 0.05, .batch_size = 16, .epochs = 1};
+  const double first = train_sgd(m, train_, one, rng_);
+  SgdConfig more{.learning_rate = 0.05, .batch_size = 16, .epochs = 10};
+  const double later = train_sgd(m, train_, more, rng_);
+  EXPECT_LT(later, first);
+}
+
+TEST_F(TrainingFixture, WeightDecayShrinksParameters) {
+  Model a = fresh_model();
+  Model b = a;
+  SgdConfig no_decay{.learning_rate = 0.01, .batch_size = 16, .epochs = 5};
+  SgdConfig decay = no_decay;
+  decay.weight_decay = 0.1;
+  stats::Rng ra(1);
+  stats::Rng rb(1);
+  train_sgd(a, train_, no_decay, ra);
+  train_sgd(b, train_, decay, rb);
+  EXPECT_LT(stats::l2_norm(b.get_parameters()),
+            stats::l2_norm(a.get_parameters()));
+}
+
+TEST_F(TrainingFixture, GradClipBoundsStep) {
+  Model a = fresh_model();
+  const tensor::FlatVec before = a.get_parameters();
+  SgdConfig clipped{.learning_rate = 1.0,
+                    .batch_size = 128,
+                    .epochs = 1,
+                    .weight_decay = 0.0,
+                    .grad_clip = 0.01};
+  train_sgd(a, train_, clipped, rng_);
+  // One batch (batch >= dataset size), lr 1, grad clipped to 0.01:
+  // the parameter step is at most 0.01 per batch.
+  const double moved =
+      stats::l2_distance(a.get_parameters(), before);
+  EXPECT_LE(moved, 0.011);
+}
+
+TEST_F(TrainingFixture, DistillationPullsTowardTeacher) {
+  Model teacher = fresh_model();
+  SgdConfig cfg{.learning_rate = 0.05, .batch_size = 16, .epochs = 15};
+  train_sgd(teacher, train_, cfg, rng_);
+
+  Model student = fresh_model();
+  // Train the student with distillation only from an accurate teacher:
+  // agreement with the teacher should rise.
+  SgdConfig d{.learning_rate = 0.05, .batch_size = 16, .epochs = 15};
+  train_sgd_distill(student, teacher, 2.0, train_, d, rng_);
+  // Student should agree with the teacher on most test points.
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < test_.size(); ++i) {
+    std::vector<std::size_t> idx = {i};
+    const auto batch = data::make_batch(test_, idx);
+    const auto ps = argmax_rows(student.forward(batch.x));
+    const auto pt = argmax_rows(teacher.forward(batch.x));
+    if (ps[0] == pt[0]) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / test_.size(), 0.9);
+}
+
+TEST_F(TrainingFixture, ProximalTermAnchorsParameters) {
+  Model free = fresh_model();
+  Model anchored = free;
+  const tensor::FlatVec anchor = free.get_parameters();
+  SgdConfig cfg{.learning_rate = 0.05, .batch_size = 16, .epochs = 10};
+  stats::Rng ra(2);
+  stats::Rng rb(2);
+  train_sgd(free, train_, cfg, ra);
+  train_sgd_proximal(anchored, anchor, 5.0, train_, cfg, rb);
+  const double free_dist = stats::l2_distance(free.get_parameters(), anchor);
+  const double anchored_dist =
+      stats::l2_distance(anchored.get_parameters(), anchor);
+  EXPECT_LT(anchored_dist, free_dist);
+}
+
+TEST_F(TrainingFixture, ProximalRejectsBadAnchor) {
+  Model m = fresh_model();
+  const tensor::FlatVec anchor(3, 0.0f);
+  SgdConfig cfg;
+  EXPECT_THROW(train_sgd_proximal(m, anchor, 1.0, train_, cfg, rng_),
+               std::invalid_argument);
+}
+
+TEST_F(TrainingFixture, TrainRejectsDegenerateConfigs) {
+  Model m = fresh_model();
+  SgdConfig zero_batch{.learning_rate = 0.1, .batch_size = 0, .epochs = 1};
+  EXPECT_THROW(train_sgd(m, train_, zero_batch, rng_), std::invalid_argument);
+  data::Dataset empty(2);
+  SgdConfig ok;
+  EXPECT_THROW(train_sgd(m, empty, ok, rng_), std::invalid_argument);
+}
+
+TEST_F(TrainingFixture, EvalHelpers) {
+  Model m = fresh_model();
+  EXPECT_DOUBLE_EQ(accuracy(m, data::Dataset(2)), 0.0);
+  EXPECT_DOUBLE_EQ(mean_loss(m, data::Dataset(2)), 0.0);
+  const double l = mean_loss(m, test_);
+  EXPECT_GT(l, 0.0);
+  SgdConfig cfg{.learning_rate = 0.05, .batch_size = 16, .epochs = 20};
+  train_sgd(m, train_, cfg, rng_);
+  EXPECT_LT(mean_loss(m, test_), l);
+}
+
+}  // namespace
+}  // namespace collapois::nn

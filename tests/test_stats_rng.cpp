@@ -1,0 +1,250 @@
+// Unit tests for the deterministic RNG substrate: distribution sanity,
+// reproducibility, and the structural properties the simulator relies on
+// (Dirichlet normalization, sampling without replacement, stream forking).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/rng.h"
+
+namespace collapois::stats {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(0.9, 1.0);
+    EXPECT_GE(u, 0.9);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(6);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(10))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(8);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleShift) {
+  Rng rng(9);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GammaMeanMatchesShape) {
+  Rng rng(11);
+  for (double shape : {0.5, 1.0, 3.0, 10.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.gamma(shape);
+    EXPECT_NEAR(sum / n, shape, 0.1 * shape + 0.02) << "shape=" << shape;
+  }
+}
+
+TEST(Rng, GammaRejectsNonPositiveShape) {
+  Rng rng(12);
+  EXPECT_THROW(rng.gamma(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.gamma(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(13);
+  for (double alpha : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    const auto p = rng.dirichlet(alpha, 10);
+    ASSERT_EQ(p.size(), 10u);
+    double sum = 0.0;
+    for (double v : p) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(Rng, DirichletSmallAlphaConcentrates) {
+  // alpha << 1 puts nearly all mass on few categories; alpha >> 1 spreads
+  // it evenly. Compare the expected max component.
+  Rng rng(14);
+  double max_small = 0.0;
+  double max_large = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    const auto small = rng.dirichlet(0.05, 10);
+    const auto large = rng.dirichlet(50.0, 10);
+    max_small += *std::max_element(small.begin(), small.end());
+    max_large += *std::max_element(large.begin(), large.end());
+  }
+  max_small /= trials;
+  max_large /= trials;
+  EXPECT_GT(max_small, 0.7);
+  EXPECT_LT(max_large, 0.25);
+}
+
+TEST(Rng, DirichletGeneralAlphaBiasesMass) {
+  Rng rng(15);
+  const std::vector<double> alpha = {10.0, 1.0, 1.0};
+  double first = 0.0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    first += rng.dirichlet(alpha)[0];
+  }
+  // E[p_0] = 10 / 12.
+  EXPECT_NEAR(first / trials, 10.0 / 12.0, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(16);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(17);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.categorical(negative), std::invalid_argument);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zero), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(18);
+  for (int t = 0; t < 50; ++t) {
+    const auto s = rng.sample_without_replacement(100, 20);
+    ASSERT_EQ(s.size(), 20u);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    for (std::size_t v : s) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(19);
+  const auto s = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOverdraw) {
+  Rng rng(20);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(21);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(22);
+  Rng child = parent.fork();
+  // The two streams should differ from each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// Property sweep: every distribution stays within bounds across seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, BoundedOutputs) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(rng.uniform(), 1.0);
+    EXPECT_LT(rng.uniform_int(7), 7u);
+    const auto d = rng.dirichlet(0.5, 4);
+    double sum = 0.0;
+    for (double x : d) sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 1234567ULL,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace collapois::stats

@@ -1,0 +1,137 @@
+// Tests for the special-function kernel underneath the statistical tests:
+// values cross-checked against standard references (Abramowitz & Stegun,
+// scipy).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace collapois::stats {
+namespace {
+
+TEST(LogGamma, IntegerFactorials) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(11.0), std::log(3628800.0), 1e-9);
+}
+
+TEST(LogGamma, HalfInteger) {
+  // Gamma(1/2) = sqrt(pi).
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  // Gamma(3/2) = sqrt(pi)/2.
+  EXPECT_NEAR(log_gamma(1.5), std::log(std::sqrt(M_PI) / 2.0), 1e-10);
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), std::domain_error);
+  EXPECT_THROW(log_gamma(-1.0), std::domain_error);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricHalf) {
+  // I_{1/2}(a, a) = 1/2.
+  for (double a : {0.5, 1.0, 2.0, 7.5}) {
+    EXPECT_NEAR(incomplete_beta(a, a, 0.5), 0.5, 1e-9) << "a=" << a;
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, KnownValue) {
+  // I_{0.3}(2, 5) = 1 - (1-x)^5 (1 + 5x + 15x^2 ... ) — use scipy value.
+  EXPECT_NEAR(incomplete_beta(2.0, 5.0, 0.3), 0.579825, 1e-5);
+}
+
+TEST(IncompleteBeta, MonotoneInX) {
+  double prev = 0.0;
+  for (double x = 0.05; x < 1.0; x += 0.05) {
+    const double v = incomplete_beta(3.0, 2.0, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(NormalQuantile, RoundTripsWithCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-7);
+}
+
+TEST(NormalQuantile, RejectsBoundary) {
+  EXPECT_THROW(normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW(normal_quantile(1.0), std::domain_error);
+}
+
+TEST(StudentT, TwoSidedValues) {
+  // scipy.stats.t.sf(2.0, 10) * 2 = 0.07338...
+  EXPECT_NEAR(student_t_sf_two_sided(2.0, 10.0), 0.0733879, 1e-5);
+  // t = 0 -> p = 1.
+  EXPECT_NEAR(student_t_sf_two_sided(0.0, 5.0), 1.0, 1e-12);
+  // Symmetric in t.
+  EXPECT_NEAR(student_t_sf_two_sided(-2.0, 10.0),
+              student_t_sf_two_sided(2.0, 10.0), 1e-12);
+}
+
+TEST(StudentT, LargeDfApproachesNormal) {
+  const double p_t = student_t_sf_two_sided(1.96, 100000.0);
+  const double p_n = 2.0 * (1.0 - normal_cdf(1.96));
+  EXPECT_NEAR(p_t, p_n, 1e-4);
+}
+
+TEST(FSf, KnownValues) {
+  // scipy.stats.f.sf(3.0, 2, 10) = 0.0947...
+  EXPECT_NEAR(f_sf(3.0, 2.0, 10.0), std::pow(0.625, 5.0), 1e-9);
+  EXPECT_NEAR(f_sf(0.0, 2.0, 10.0), 1.0, 1e-12);
+}
+
+TEST(FSf, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double f = 0.5; f < 10.0; f += 0.5) {
+    const double v = f_sf(f, 3.0, 20.0);
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(KolmogorovSf, KnownValues) {
+  // Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(kolmogorov_sf(1.36), 0.049, 0.002);
+  EXPECT_NEAR(kolmogorov_sf(0.0), 1.0, 1e-12);
+  EXPECT_LT(kolmogorov_sf(3.0), 1e-6);
+}
+
+TEST(KolmogorovSf, MonotoneDecreasingInLambda) {
+  double prev = 1.0;
+  for (double l = 0.1; l < 3.0; l += 0.1) {
+    const double v = kolmogorov_sf(l);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace collapois::stats

@@ -1,0 +1,116 @@
+// Tests for descriptive statistics and the streaming Welford accumulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/summary.h"
+
+namespace collapois::stats {
+namespace {
+
+TEST(Summary, MeanBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Summary, VarianceUnbiased) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Known: population variance 4, sample variance 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Summary, StddevIsSqrtVariance) {
+  const std::vector<double> xs = {1.0, 3.0, 5.0};
+  EXPECT_NEAR(stddev(xs) * stddev(xs), variance(xs), 1e-12);
+}
+
+TEST(Summary, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+}
+
+TEST(Summary, QuantileInterpolation) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 10.0);
+}
+
+TEST(Summary, QuantileClampsQ) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.5), 3.0);
+}
+
+TEST(Summary, MinMax) {
+  const std::vector<double> xs = {4.0, -1.0, 9.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 9.0);
+}
+
+TEST(Summary, SummarizeConsistency) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_LE(s.p25, s.median);
+  EXPECT_LE(s.median, s.p75);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  const std::vector<double> xs = {1.5, -2.0, 0.25, 8.0, 3.0, 3.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(4.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 20.0, 30.0, 40.0};
+  RunningStats ra;
+  for (double x : a) ra.add(x);
+  RunningStats rb;
+  for (double x : b) rb.add(x);
+  ra.merge(rb);
+
+  std::vector<double> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  EXPECT_EQ(ra.count(), all.size());
+  EXPECT_NEAR(ra.mean(), mean(all), 1e-12);
+  EXPECT_NEAR(ra.variance(), variance(all), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats ra;
+  ra.add(1.0);
+  ra.add(2.0);
+  RunningStats empty;
+  ra.merge(empty);
+  EXPECT_EQ(ra.count(), 2u);
+  RunningStats rb;
+  rb.merge(ra);
+  EXPECT_EQ(rb.count(), 2u);
+  EXPECT_NEAR(rb.mean(), 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace collapois::stats

@@ -1,0 +1,168 @@
+// Tests for the hypothesis tests used by the paper's "Bypassing Defenses"
+// analysis: they must reject when populations differ and pass when they
+// do not — that asymmetry is the whole point of the stealth evaluation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/rng.h"
+#include "stats/tests.h"
+
+namespace collapois::stats {
+namespace {
+
+std::vector<double> gaussian_sample(Rng& rng, double mu, double sd, int n) {
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.normal(mu, sd));
+  return xs;
+}
+
+TEST(WelchT, DetectsMeanShift) {
+  Rng rng(1);
+  const auto a = gaussian_sample(rng, 0.0, 1.0, 200);
+  const auto b = gaussian_sample(rng, 1.0, 1.0, 200);
+  const auto r = welch_t_test(a, b);
+  EXPECT_TRUE(r.significant_at_05());
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(WelchT, PassesIdenticalDistributions) {
+  Rng rng(2);
+  const auto a = gaussian_sample(rng, 5.0, 2.0, 300);
+  const auto b = gaussian_sample(rng, 5.0, 2.0, 300);
+  const auto r = welch_t_test(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(WelchT, HandlesUnequalVariances) {
+  Rng rng(3);
+  const auto a = gaussian_sample(rng, 0.0, 0.1, 100);
+  const auto b = gaussian_sample(rng, 0.0, 10.0, 100);
+  const auto r = welch_t_test(a, b);
+  // Same mean: should not reject despite wildly different variances.
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(WelchT, ConstantGroups) {
+  const std::vector<double> a = {2.0, 2.0, 2.0};
+  const std::vector<double> b = {2.0, 2.0};
+  EXPECT_NEAR(welch_t_test(a, b).p_value, 1.0, 1e-12);
+  const std::vector<double> c = {3.0, 3.0};
+  EXPECT_NEAR(welch_t_test(a, c).p_value, 0.0, 1e-12);
+}
+
+TEST(WelchT, RejectsTinySamples) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(welch_t_test(one, two), std::invalid_argument);
+}
+
+TEST(Levene, DetectsVarianceDifference) {
+  Rng rng(4);
+  const auto a = gaussian_sample(rng, 0.0, 1.0, 200);
+  const auto b = gaussian_sample(rng, 0.0, 4.0, 200);
+  const auto r = levene_test(a, b);
+  EXPECT_TRUE(r.significant_at_05());
+}
+
+TEST(Levene, PassesEqualVariances) {
+  Rng rng(5);
+  const auto a = gaussian_sample(rng, 0.0, 1.5, 300);
+  const auto b = gaussian_sample(rng, 3.0, 1.5, 300);  // mean shift only
+  const auto r = levene_test(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Ks, DetectsDistributionChange) {
+  Rng rng(6);
+  const auto a = gaussian_sample(rng, 0.0, 1.0, 300);
+  const auto b = gaussian_sample(rng, 0.8, 1.0, 300);
+  const auto r = ks_test(a, b);
+  EXPECT_TRUE(r.significant_at_05());
+  EXPECT_GT(r.statistic, 0.2);
+}
+
+TEST(Ks, PassesSameDistribution) {
+  Rng rng(7);
+  const auto a = gaussian_sample(rng, 1.0, 2.0, 400);
+  const auto b = gaussian_sample(rng, 1.0, 2.0, 400);
+  const auto r = ks_test(a, b);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Ks, StatisticIsMaxCdfGap) {
+  // Fully separated samples: D = 1.
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {10.0, 11.0, 12.0};
+  const auto r = ks_test(a, b);
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+}
+
+TEST(ThreeSigma, FlagsOnlyTrueOutliers) {
+  Rng rng(8);
+  const auto background = gaussian_sample(rng, 0.0, 1.0, 2000);
+  // Points drawn from the same distribution: expect roughly the nominal
+  // ~0.3% outlier rate.
+  const auto same = gaussian_sample(rng, 0.0, 1.0, 2000);
+  EXPECT_LT(three_sigma_outlier_rate(background, same), 0.02);
+  // Far points: all flagged.
+  const std::vector<double> far = {10.0, -12.0, 15.0};
+  EXPECT_DOUBLE_EQ(three_sigma_outlier_rate(background, far), 1.0);
+}
+
+TEST(ThreeSigma, DegenerateBackground) {
+  const std::vector<double> constant = {5.0, 5.0, 5.0};
+  const std::vector<double> pts = {5.0, 6.0};
+  EXPECT_DOUBLE_EQ(three_sigma_outlier_rate(constant, pts), 0.5);
+}
+
+TEST(Hoeffding, TailDecreasesWithN) {
+  double prev = 1.0;
+  for (std::size_t n : {10u, 100u, 1000u, 10000u}) {
+    const double t = hoeffding_tail(n, 0.1, 0.0, 1.0);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+  EXPECT_LT(prev, 1e-8);
+}
+
+TEST(Hoeffding, EpsInvertsTail) {
+  const std::size_t n = 500;
+  const double delta = 0.05;
+  const double eps = hoeffding_eps(n, delta, 0.0, 1.0);
+  EXPECT_NEAR(hoeffding_tail(n, eps, 0.0, 1.0), delta, 1e-9);
+}
+
+TEST(Hoeffding, RangeScaling) {
+  // Doubling the range doubles the half-width.
+  const double e1 = hoeffding_eps(100, 0.05, 0.0, 1.0);
+  const double e2 = hoeffding_eps(100, 0.05, 0.0, 2.0);
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-12);
+}
+
+TEST(Hoeffding, RejectsBadArguments) {
+  EXPECT_THROW(hoeffding_eps(0, 0.05, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(hoeffding_eps(10, 0.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(hoeffding_eps(10, 0.05, 1.0, 1.0), std::invalid_argument);
+}
+
+// The paper's bypass scenario as a property test: malicious features drawn
+// from the *matched* distribution must pass all three tests at any seed.
+class BypassSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BypassSweep, MatchedPopulationsPassAllTests) {
+  Rng rng(GetParam());
+  const auto benign = gaussian_sample(rng, 1.2, 0.3, 250);
+  const auto blended = gaussian_sample(rng, 1.2, 0.3, 50);
+  EXPECT_GT(welch_t_test(blended, benign).p_value, 0.001);
+  EXPECT_GT(levene_test(blended, benign).p_value, 0.001);
+  EXPECT_GT(ks_test(blended, benign).p_value, 0.001);
+  EXPECT_LT(three_sigma_outlier_rate(benign, blended), 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BypassSweep,
+                         ::testing::Values(11ULL, 22ULL, 33ULL, 44ULL));
+
+}  // namespace
+}  // namespace collapois::stats

@@ -1,0 +1,167 @@
+// Tests for the targeted "semi-ready" CollaPois extension (Discussion
+// section): high-value target selection, auxiliary-data re-weighting,
+// and the drift-triggered activation logic.
+#include <gtest/gtest.h>
+
+#include "core/targeted.h"
+#include "data/synthetic_text.h"
+#include "fl/client.h"
+#include "nn/zoo.h"
+#include "stats/geometry.h"
+
+namespace collapois::core {
+namespace {
+
+TEST(TargetSelection, PicksClosestHistograms) {
+  const std::vector<std::vector<double>> hists = {
+      {10.0, 0.0},  // exactly the reference mix
+      {0.0, 10.0},  // opposite
+      {8.0, 2.0},   // close
+      {5.0, 5.0},   // middling
+  };
+  const std::vector<double> reference = {10.0, 0.0};
+  const auto top = select_high_value_targets(hists, reference, 0.5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 2u);
+}
+
+TEST(TargetSelection, FractionBoundsAndValidation) {
+  const std::vector<std::vector<double>> hists = {{1.0}, {2.0}, {3.0}};
+  const std::vector<double> ref = {1.0};
+  EXPECT_EQ(select_high_value_targets(hists, ref, 0.01).size(), 1u);
+  EXPECT_EQ(select_high_value_targets(hists, ref, 1.0).size(), 3u);
+  EXPECT_THROW(select_high_value_targets(hists, ref, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(select_high_value_targets(hists, ref, 1.5),
+               std::invalid_argument);
+  const std::vector<double> wrong = {1.0, 2.0};
+  EXPECT_THROW(select_high_value_targets(hists, wrong, 0.5),
+               std::invalid_argument);
+  EXPECT_TRUE(select_high_value_targets({}, ref, 0.5).empty());
+}
+
+TEST(Reweight, MatchesTargetDistribution) {
+  stats::Rng rng(1);
+  data::SyntheticTextGenerator gen({}, 2);
+  const std::vector<std::size_t> counts = {50, 50};
+  const data::Dataset aux = gen.generate(counts, rng);
+  const std::vector<double> target = {9.0, 1.0};
+  const data::Dataset re = reweight_to_distribution(aux, target, 1000, rng);
+  EXPECT_EQ(re.size(), 1000u);
+  const auto hist = re.label_histogram();
+  EXPECT_NEAR(hist[0] / 1000.0, 0.9, 0.05);
+  EXPECT_NEAR(hist[1] / 1000.0, 0.1, 0.05);
+}
+
+TEST(Reweight, SkipsClassesTheAttackerLacks) {
+  stats::Rng rng(3);
+  data::SyntheticTextGenerator gen({}, 4);
+  const std::vector<std::size_t> counts = {30, 0};  // no class-1 samples
+  const data::Dataset aux = gen.generate(counts, rng);
+  const std::vector<double> target = {1.0, 9.0};
+  const data::Dataset re = reweight_to_distribution(aux, target, 100, rng);
+  const auto hist = re.label_histogram();
+  EXPECT_EQ(hist[1], 0.0);  // cannot fabricate class 1
+  EXPECT_EQ(hist[0], 100.0);
+}
+
+TEST(Reweight, Validation) {
+  stats::Rng rng(5);
+  data::SyntheticTextGenerator gen({}, 6);
+  const std::vector<std::size_t> counts = {5, 5};
+  const data::Dataset aux = gen.generate(counts, rng);
+  const std::vector<double> two = {1.0, 1.0};
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(reweight_to_distribution(data::Dataset(2), two, 10, rng),
+               std::invalid_argument);
+  EXPECT_THROW(reweight_to_distribution(aux, one, 10, rng),
+               std::invalid_argument);
+}
+
+class SemiReadyFixture : public ::testing::Test {
+ protected:
+  SemiReadyFixture() : rng_(7), gen_({}, 8) {
+    const std::vector<std::size_t> counts = {20, 20};
+    local_ = gen_.generate(counts, rng_);
+    model_ = nn::make_mlp_head({.input_dim = 32, .hidden = 8,
+                                .num_classes = 2, .num_hidden_layers = 1});
+    model_.init(rng_);
+    global_ = model_.get_parameters();
+    x_ = global_;
+    x_[0] += 5.0f;
+    direction_.assign(global_.size(), 0.0f);
+    direction_[1] = 1.0f;
+  }
+
+  std::unique_ptr<SemiReadyClient> make_client(SemiReadyConfig cfg) {
+    auto dormant = std::make_unique<fl::BenignClient>(
+        0, &local_, model_,
+        nn::SgdConfig{.learning_rate = 0.05, .batch_size = 16, .epochs = 1},
+        0.5, rng_.fork());
+    auto attack = std::make_unique<CollaPoisClient>(
+        0, tensor::FlatVec{}, CollaPoisConfig{}, rng_.fork(),
+        std::move(dormant));
+    return std::make_unique<SemiReadyClient>(std::move(attack), x_,
+                                             direction_, cfg);
+  }
+
+  stats::Rng rng_;
+  data::SyntheticTextGenerator gen_;
+  data::Dataset local_;
+  nn::Model model_;
+  tensor::FlatVec global_;
+  tensor::FlatVec x_;
+  tensor::FlatVec direction_;
+};
+
+TEST_F(SemiReadyFixture, StaysDormantWithoutSignal) {
+  auto client = make_client({.activation_cosine = 0.5,
+                             .required_signals = 2,
+                             .window = 4});
+  // Global drifts orthogonally to the target direction: no activation.
+  tensor::FlatVec g = global_;
+  for (int r = 0; r < 6; ++r) {
+    g[5] += 0.1f;  // orthogonal drift
+    fl::RoundContext ctx{static_cast<std::size_t>(r), g};
+    client->compute_update(ctx);
+  }
+  EXPECT_FALSE(client->activated());
+}
+
+TEST_F(SemiReadyFixture, ActivatesOnTargetAlignedDrift) {
+  auto client = make_client({.activation_cosine = 0.5,
+                             .required_signals = 2,
+                             .window = 4});
+  tensor::FlatVec g = global_;
+  for (int r = 0; r < 4; ++r) {
+    // Drift along -target_direction = cohort participating.
+    g[1] -= 0.1f;
+    fl::RoundContext ctx{static_cast<std::size_t>(r), g};
+    client->compute_update(ctx);
+  }
+  EXPECT_TRUE(client->activated());
+  // Once armed, updates pull toward the specialized X.
+  fl::RoundContext ctx{10, global_};
+  const fl::ClientUpdate u = client->compute_update(ctx);
+  EXPECT_LT(u.delta[0], 0.0f);  // pulls coordinate 0 toward X's +5 offset
+}
+
+TEST_F(SemiReadyFixture, Validation) {
+  EXPECT_THROW(SemiReadyClient(nullptr, x_, direction_, {}),
+               std::invalid_argument);
+  auto attack = std::make_unique<CollaPoisClient>(
+      0, x_, CollaPoisConfig{}, rng_.fork());
+  EXPECT_THROW(SemiReadyClient(std::move(attack), {}, direction_, {}),
+               std::invalid_argument);
+  auto attack2 = std::make_unique<CollaPoisClient>(
+      0, x_, CollaPoisConfig{}, rng_.fork());
+  EXPECT_THROW(SemiReadyClient(std::move(attack2), x_, direction_,
+                               {.activation_cosine = 0.1,
+                                .required_signals = 0,
+                                .window = 4}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace collapois::core

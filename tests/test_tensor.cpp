@@ -1,0 +1,180 @@
+// Tests for the tensor substrate: shape bookkeeping, flat-vector ops, and
+// the linear-algebra kernels the nn layers are built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/geometry.h"
+#include "tensor/linalg.h"
+#include "tensor/tensor.h"
+#include "tensor/vecops.h"
+
+namespace collapois::tensor {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, AdoptsData) {
+  Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_THROW(Tensor({2, 2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, CheckedAccessors) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t.at(1, 2, 3), 7.0f);
+  EXPECT_THROW(t.at(2, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 0), std::out_of_range);  // wrong rank
+  EXPECT_THROW(t.dim(5), std::out_of_range);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t[5], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndSameShape) {
+  Tensor a({2, 2});
+  Tensor b({2, 2});
+  Tensor c({4});
+  a.fill(3.5f);
+  EXPECT_EQ(a[3], 3.5f);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(VecOps, AddSubScale) {
+  const FlatVec a = {1.0f, 2.0f};
+  const FlatVec b = {3.0f, 5.0f};
+  EXPECT_EQ(add(a, b), (FlatVec{4.0f, 7.0f}));
+  EXPECT_EQ(sub(b, a), (FlatVec{2.0f, 3.0f}));
+  EXPECT_EQ(scale(a, 2.0), (FlatVec{2.0f, 4.0f}));
+}
+
+TEST(VecOps, SizeMismatchThrows) {
+  const FlatVec a = {1.0f};
+  const FlatVec b = {1.0f, 2.0f};
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  FlatVec c = {1.0f};
+  EXPECT_THROW(axpy_inplace(c, 1.0, b), std::invalid_argument);
+}
+
+TEST(VecOps, AxpyInPlace) {
+  FlatVec a = {1.0f, 1.0f};
+  const FlatVec b = {2.0f, 4.0f};
+  axpy_inplace(a, 0.5, b);
+  EXPECT_EQ(a, (FlatVec{2.0f, 3.0f}));
+}
+
+TEST(VecOps, Means) {
+  const std::vector<FlatVec> vs = {{2.0f, 0.0f}, {0.0f, 2.0f}};
+  EXPECT_EQ(mean_of(vs), (FlatVec{1.0f, 1.0f}));
+  const std::vector<double> w = {3.0, 1.0};
+  EXPECT_EQ(weighted_mean_of(vs, w), (FlatVec{1.5f, 0.5f}));
+  EXPECT_THROW(mean_of({}), std::invalid_argument);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(weighted_mean_of(vs, zero), std::invalid_argument);
+}
+
+TEST(VecOps, ClipL2) {
+  FlatVec v = {3.0f, 4.0f};  // norm 5
+  const double f = clip_l2_inplace(v, 2.5);
+  EXPECT_NEAR(f, 0.5, 1e-6);
+  EXPECT_NEAR(stats::l2_norm(v), 2.5, 1e-5);
+  // Under the bound: untouched.
+  FlatVec u = {0.3f, 0.4f};
+  EXPECT_DOUBLE_EQ(clip_l2_inplace(u, 1.0), 1.0);
+  EXPECT_EQ(u, (FlatVec{0.3f, 0.4f}));
+  EXPECT_THROW(clip_l2_inplace(u, 0.0), std::invalid_argument);
+}
+
+TEST(VecOps, RescaleToNorm) {
+  FlatVec v = {3.0f, 4.0f};
+  rescale_to_norm_inplace(v, 10.0);
+  EXPECT_NEAR(stats::l2_norm(v), 10.0, 1e-5);
+  FlatVec z = {0.0f, 0.0f};
+  rescale_to_norm_inplace(z, 5.0);  // no-op on zero
+  EXPECT_EQ(z, (FlatVec{0.0f, 0.0f}));
+}
+
+TEST(Linalg, GemmSmallKnown) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const std::vector<float> a = {1, 2, 3, 4};
+  const std::vector<float> b = {5, 6, 7, 8};
+  std::vector<float> c(4);
+  gemm(a, b, c, 2, 2, 2);
+  EXPECT_EQ(c, (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(Linalg, GemmRejectsBadSizes) {
+  std::vector<float> a(6), b(6), c(5);
+  EXPECT_THROW(gemm(a, b, c, 2, 3, 2), std::invalid_argument);
+}
+
+TEST(Linalg, GemmAtBAccum) {
+  // A [k=2 x m=2], B [k=2 x n=1]; C += A^T B.
+  const std::vector<float> a = {1, 2, 3, 4};
+  const std::vector<float> b = {5, 6};
+  std::vector<float> c = {1, 1};
+  gemm_at_b_accum(a, b, c, 2, 2, 1);
+  // A^T B = [1*5+3*6, 2*5+4*6] = [23, 34]; plus initial 1.
+  EXPECT_EQ(c, (std::vector<float>{24, 35}));
+}
+
+TEST(Linalg, GemmABtAccum) {
+  // A [m=1 x k=2], B [n=2 x k=2]; C += A B^T.
+  const std::vector<float> a = {1, 2};
+  const std::vector<float> b = {3, 4, 5, 6};
+  std::vector<float> c = {0, 0};
+  gemm_a_bt_accum(a, b, c, 1, 2, 2);
+  EXPECT_EQ(c, (std::vector<float>{11, 17}));
+}
+
+TEST(Linalg, Gemv) {
+  const std::vector<float> a = {1, 2, 3, 4, 5, 6};  // 2x3
+  const std::vector<float> x = {1, 0, -1};
+  std::vector<float> y(2);
+  gemv(a, x, y, 2, 3);
+  EXPECT_EQ(y, (std::vector<float>{-2, -2}));
+}
+
+TEST(Linalg, BilinearSampleInterior) {
+  Tensor img({2, 2}, {0.0f, 1.0f, 2.0f, 3.0f});
+  EXPECT_NEAR(bilinear_sample(img, 0.0, 0.0), 0.0f, 1e-6);
+  EXPECT_NEAR(bilinear_sample(img, 0.0, 1.0), 1.0f, 1e-6);
+  EXPECT_NEAR(bilinear_sample(img, 0.5, 0.5), 1.5f, 1e-6);
+  EXPECT_NEAR(bilinear_sample(img, 0.0, 0.5), 0.5f, 1e-6);
+}
+
+TEST(Linalg, BilinearSampleZeroPadsOutside) {
+  Tensor img({2, 2}, {4.0f, 4.0f, 4.0f, 4.0f});
+  EXPECT_NEAR(bilinear_sample(img, -5.0, 0.0), 0.0f, 1e-6);
+  EXPECT_NEAR(bilinear_sample(img, 0.0, 5.0), 0.0f, 1e-6);
+  // Half outside: interpolates with zero padding.
+  EXPECT_NEAR(bilinear_sample(img, -0.5, 0.0), 2.0f, 1e-6);
+}
+
+TEST(Linalg, BilinearRequiresRank2) {
+  Tensor t({2, 2, 2});
+  EXPECT_THROW(bilinear_sample(t, 0.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace collapois::tensor
