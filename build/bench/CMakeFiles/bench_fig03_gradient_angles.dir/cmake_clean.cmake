@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_gradient_angles.dir/bench_fig03_gradient_angles.cpp.o"
+  "CMakeFiles/bench_fig03_gradient_angles.dir/bench_fig03_gradient_angles.cpp.o.d"
+  "bench_fig03_gradient_angles"
+  "bench_fig03_gradient_angles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_gradient_angles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_stealth_angles.dir/bench_fig06_stealth_angles.cpp.o"
+  "CMakeFiles/bench_fig06_stealth_angles.dir/bench_fig06_stealth_angles.cpp.o.d"
+  "bench_fig06_stealth_angles"
+  "bench_fig06_stealth_angles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_stealth_angles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_defense_sentiment.dir/bench_fig09_defense_sentiment.cpp.o"
+  "CMakeFiles/bench_fig09_defense_sentiment.dir/bench_fig09_defense_sentiment.cpp.o.d"
+  "bench_fig09_defense_sentiment"
+  "bench_fig09_defense_sentiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_defense_sentiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

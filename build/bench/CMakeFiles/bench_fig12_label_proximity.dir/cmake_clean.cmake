@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_label_proximity.dir/bench_fig12_label_proximity.cpp.o"
+  "CMakeFiles/bench_fig12_label_proximity.dir/bench_fig12_label_proximity.cpp.o.d"
+  "bench_fig12_label_proximity"
+  "bench_fig12_label_proximity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_label_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

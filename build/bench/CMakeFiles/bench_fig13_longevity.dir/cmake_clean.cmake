@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_longevity.dir/bench_fig13_longevity.cpp.o"
+  "CMakeFiles/bench_fig13_longevity.dir/bench_fig13_longevity.cpp.o.d"
+  "bench_fig13_longevity"
+  "bench_fig13_longevity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_longevity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_trigger_imperceptibility.dir/bench_fig14_trigger_imperceptibility.cpp.o"
+  "CMakeFiles/bench_fig14_trigger_imperceptibility.dir/bench_fig14_trigger_imperceptibility.cpp.o.d"
+  "bench_fig14_trigger_imperceptibility"
+  "bench_fig14_trigger_imperceptibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_trigger_imperceptibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_defense_femnist.dir/bench_fig16_defense_femnist.cpp.o"
+  "CMakeFiles/bench_fig16_defense_femnist.dir/bench_fig16_defense_femnist.cpp.o.d"
+  "bench_fig16_defense_femnist"
+  "bench_fig16_defense_femnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_defense_femnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

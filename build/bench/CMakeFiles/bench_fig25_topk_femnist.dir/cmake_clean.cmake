@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_topk_femnist.dir/bench_fig25_topk_femnist.cpp.o"
+  "CMakeFiles/bench_fig25_topk_femnist.dir/bench_fig25_topk_femnist.cpp.o.d"
+  "bench_fig25_topk_femnist"
+  "bench_fig25_topk_femnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_topk_femnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

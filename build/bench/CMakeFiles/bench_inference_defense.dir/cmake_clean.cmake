@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inference_defense.dir/bench_inference_defense.cpp.o"
+  "CMakeFiles/bench_inference_defense.dir/bench_inference_defense.cpp.o.d"
+  "bench_inference_defense"
+  "bench_inference_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inference_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

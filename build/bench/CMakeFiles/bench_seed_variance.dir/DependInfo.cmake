@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_seed_variance.cpp" "bench/CMakeFiles/bench_seed_variance.dir/bench_seed_variance.cpp.o" "gcc" "bench/CMakeFiles/bench_seed_variance.dir/bench_seed_variance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/collapois_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/collapois_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/collapois_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/collapois_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/collapois_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/collapois_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/collapois_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/collapois_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/collapois_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/collapois_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/collapois_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stat_bypass.dir/bench_stat_bypass.cpp.o"
+  "CMakeFiles/bench_stat_bypass.dir/bench_stat_bypass.cpp.o.d"
+  "bench_stat_bypass"
+  "bench_stat_bypass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stat_bypass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

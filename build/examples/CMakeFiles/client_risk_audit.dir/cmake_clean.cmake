@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_risk_audit.dir/client_risk_audit.cpp.o"
+  "CMakeFiles/client_risk_audit.dir/client_risk_audit.cpp.o.d"
+  "client_risk_audit"
+  "client_risk_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_risk_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_cli.dir/collapois_cli.cpp.o"
+  "CMakeFiles/collapois_cli.dir/collapois_cli.cpp.o.d"
+  "collapois_cli"
+  "collapois_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_shootout.dir/defense_shootout.cpp.o"
+  "CMakeFiles/defense_shootout.dir/defense_shootout.cpp.o.d"
+  "defense_shootout"
+  "defense_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targeted_strike.dir/targeted_strike.cpp.o"
+  "CMakeFiles/targeted_strike.dir/targeted_strike.cpp.o.d"
+  "targeted_strike"
+  "targeted_strike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targeted_strike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

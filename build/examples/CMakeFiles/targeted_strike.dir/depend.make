@@ -1,0 +1,2 @@
+# Empty dependencies file for targeted_strike.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("stats")
+subdirs("tensor")
+subdirs("data")
+subdirs("trojan")
+subdirs("nn")
+subdirs("fl")
+subdirs("attacks")
+subdirs("defense")
+subdirs("metrics")
+subdirs("core")
+subdirs("sim")

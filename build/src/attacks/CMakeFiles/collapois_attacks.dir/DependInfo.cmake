@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/dba.cpp" "src/attacks/CMakeFiles/collapois_attacks.dir/dba.cpp.o" "gcc" "src/attacks/CMakeFiles/collapois_attacks.dir/dba.cpp.o.d"
+  "/root/repo/src/attacks/dpois.cpp" "src/attacks/CMakeFiles/collapois_attacks.dir/dpois.cpp.o" "gcc" "src/attacks/CMakeFiles/collapois_attacks.dir/dpois.cpp.o.d"
+  "/root/repo/src/attacks/mrepl.cpp" "src/attacks/CMakeFiles/collapois_attacks.dir/mrepl.cpp.o" "gcc" "src/attacks/CMakeFiles/collapois_attacks.dir/mrepl.cpp.o.d"
+  "/root/repo/src/attacks/poison_training_client.cpp" "src/attacks/CMakeFiles/collapois_attacks.dir/poison_training_client.cpp.o" "gcc" "src/attacks/CMakeFiles/collapois_attacks.dir/poison_training_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/collapois_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/collapois_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/collapois_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/collapois_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/collapois_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/collapois_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

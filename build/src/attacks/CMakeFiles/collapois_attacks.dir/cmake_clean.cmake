@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_attacks.dir/dba.cpp.o"
+  "CMakeFiles/collapois_attacks.dir/dba.cpp.o.d"
+  "CMakeFiles/collapois_attacks.dir/dpois.cpp.o"
+  "CMakeFiles/collapois_attacks.dir/dpois.cpp.o.d"
+  "CMakeFiles/collapois_attacks.dir/mrepl.cpp.o"
+  "CMakeFiles/collapois_attacks.dir/mrepl.cpp.o.d"
+  "CMakeFiles/collapois_attacks.dir/poison_training_client.cpp.o"
+  "CMakeFiles/collapois_attacks.dir/poison_training_client.cpp.o.d"
+  "libcollapois_attacks.a"
+  "libcollapois_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

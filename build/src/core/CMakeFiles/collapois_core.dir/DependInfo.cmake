@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collapois_client.cpp" "src/core/CMakeFiles/collapois_core.dir/collapois_client.cpp.o" "gcc" "src/core/CMakeFiles/collapois_core.dir/collapois_client.cpp.o.d"
+  "/root/repo/src/core/stealth.cpp" "src/core/CMakeFiles/collapois_core.dir/stealth.cpp.o" "gcc" "src/core/CMakeFiles/collapois_core.dir/stealth.cpp.o.d"
+  "/root/repo/src/core/targeted.cpp" "src/core/CMakeFiles/collapois_core.dir/targeted.cpp.o" "gcc" "src/core/CMakeFiles/collapois_core.dir/targeted.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/collapois_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/collapois_core.dir/theory.cpp.o.d"
+  "/root/repo/src/core/trojan_trainer.cpp" "src/core/CMakeFiles/collapois_core.dir/trojan_trainer.cpp.o" "gcc" "src/core/CMakeFiles/collapois_core.dir/trojan_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/collapois_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/collapois_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/collapois_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/collapois_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/collapois_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/collapois_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_core.dir/collapois_client.cpp.o"
+  "CMakeFiles/collapois_core.dir/collapois_client.cpp.o.d"
+  "CMakeFiles/collapois_core.dir/stealth.cpp.o"
+  "CMakeFiles/collapois_core.dir/stealth.cpp.o.d"
+  "CMakeFiles/collapois_core.dir/targeted.cpp.o"
+  "CMakeFiles/collapois_core.dir/targeted.cpp.o.d"
+  "CMakeFiles/collapois_core.dir/theory.cpp.o"
+  "CMakeFiles/collapois_core.dir/theory.cpp.o.d"
+  "CMakeFiles/collapois_core.dir/trojan_trainer.cpp.o"
+  "CMakeFiles/collapois_core.dir/trojan_trainer.cpp.o.d"
+  "libcollapois_core.a"
+  "libcollapois_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_data.dir/dataset.cpp.o"
+  "CMakeFiles/collapois_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/collapois_data.dir/partition.cpp.o"
+  "CMakeFiles/collapois_data.dir/partition.cpp.o.d"
+  "CMakeFiles/collapois_data.dir/synthetic_image.cpp.o"
+  "CMakeFiles/collapois_data.dir/synthetic_image.cpp.o.d"
+  "CMakeFiles/collapois_data.dir/synthetic_text.cpp.o"
+  "CMakeFiles/collapois_data.dir/synthetic_text.cpp.o.d"
+  "libcollapois_data.a"
+  "libcollapois_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

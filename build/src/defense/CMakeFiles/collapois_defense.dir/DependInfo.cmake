@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/crfl.cpp" "src/defense/CMakeFiles/collapois_defense.dir/crfl.cpp.o" "gcc" "src/defense/CMakeFiles/collapois_defense.dir/crfl.cpp.o.d"
+  "/root/repo/src/defense/detector.cpp" "src/defense/CMakeFiles/collapois_defense.dir/detector.cpp.o" "gcc" "src/defense/CMakeFiles/collapois_defense.dir/detector.cpp.o.d"
+  "/root/repo/src/defense/ditto.cpp" "src/defense/CMakeFiles/collapois_defense.dir/ditto.cpp.o" "gcc" "src/defense/CMakeFiles/collapois_defense.dir/ditto.cpp.o.d"
+  "/root/repo/src/defense/flare.cpp" "src/defense/CMakeFiles/collapois_defense.dir/flare.cpp.o" "gcc" "src/defense/CMakeFiles/collapois_defense.dir/flare.cpp.o.d"
+  "/root/repo/src/defense/inference_detect.cpp" "src/defense/CMakeFiles/collapois_defense.dir/inference_detect.cpp.o" "gcc" "src/defense/CMakeFiles/collapois_defense.dir/inference_detect.cpp.o.d"
+  "/root/repo/src/defense/krum.cpp" "src/defense/CMakeFiles/collapois_defense.dir/krum.cpp.o" "gcc" "src/defense/CMakeFiles/collapois_defense.dir/krum.cpp.o.d"
+  "/root/repo/src/defense/median.cpp" "src/defense/CMakeFiles/collapois_defense.dir/median.cpp.o" "gcc" "src/defense/CMakeFiles/collapois_defense.dir/median.cpp.o.d"
+  "/root/repo/src/defense/normbound.cpp" "src/defense/CMakeFiles/collapois_defense.dir/normbound.cpp.o" "gcc" "src/defense/CMakeFiles/collapois_defense.dir/normbound.cpp.o.d"
+  "/root/repo/src/defense/registry.cpp" "src/defense/CMakeFiles/collapois_defense.dir/registry.cpp.o" "gcc" "src/defense/CMakeFiles/collapois_defense.dir/registry.cpp.o.d"
+  "/root/repo/src/defense/rlr.cpp" "src/defense/CMakeFiles/collapois_defense.dir/rlr.cpp.o" "gcc" "src/defense/CMakeFiles/collapois_defense.dir/rlr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/collapois_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/collapois_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/collapois_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/collapois_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/collapois_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

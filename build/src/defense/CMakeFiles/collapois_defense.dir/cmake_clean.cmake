@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_defense.dir/crfl.cpp.o"
+  "CMakeFiles/collapois_defense.dir/crfl.cpp.o.d"
+  "CMakeFiles/collapois_defense.dir/detector.cpp.o"
+  "CMakeFiles/collapois_defense.dir/detector.cpp.o.d"
+  "CMakeFiles/collapois_defense.dir/ditto.cpp.o"
+  "CMakeFiles/collapois_defense.dir/ditto.cpp.o.d"
+  "CMakeFiles/collapois_defense.dir/flare.cpp.o"
+  "CMakeFiles/collapois_defense.dir/flare.cpp.o.d"
+  "CMakeFiles/collapois_defense.dir/inference_detect.cpp.o"
+  "CMakeFiles/collapois_defense.dir/inference_detect.cpp.o.d"
+  "CMakeFiles/collapois_defense.dir/krum.cpp.o"
+  "CMakeFiles/collapois_defense.dir/krum.cpp.o.d"
+  "CMakeFiles/collapois_defense.dir/median.cpp.o"
+  "CMakeFiles/collapois_defense.dir/median.cpp.o.d"
+  "CMakeFiles/collapois_defense.dir/normbound.cpp.o"
+  "CMakeFiles/collapois_defense.dir/normbound.cpp.o.d"
+  "CMakeFiles/collapois_defense.dir/registry.cpp.o"
+  "CMakeFiles/collapois_defense.dir/registry.cpp.o.d"
+  "CMakeFiles/collapois_defense.dir/rlr.cpp.o"
+  "CMakeFiles/collapois_defense.dir/rlr.cpp.o.d"
+  "libcollapois_defense.a"
+  "libcollapois_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcollapois_defense.a"
+)

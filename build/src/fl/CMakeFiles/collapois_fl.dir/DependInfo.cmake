@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/aggregator.cpp" "src/fl/CMakeFiles/collapois_fl.dir/aggregator.cpp.o" "gcc" "src/fl/CMakeFiles/collapois_fl.dir/aggregator.cpp.o.d"
+  "/root/repo/src/fl/client.cpp" "src/fl/CMakeFiles/collapois_fl.dir/client.cpp.o" "gcc" "src/fl/CMakeFiles/collapois_fl.dir/client.cpp.o.d"
+  "/root/repo/src/fl/metafed.cpp" "src/fl/CMakeFiles/collapois_fl.dir/metafed.cpp.o" "gcc" "src/fl/CMakeFiles/collapois_fl.dir/metafed.cpp.o.d"
+  "/root/repo/src/fl/server.cpp" "src/fl/CMakeFiles/collapois_fl.dir/server.cpp.o" "gcc" "src/fl/CMakeFiles/collapois_fl.dir/server.cpp.o.d"
+  "/root/repo/src/fl/server_algorithm.cpp" "src/fl/CMakeFiles/collapois_fl.dir/server_algorithm.cpp.o" "gcc" "src/fl/CMakeFiles/collapois_fl.dir/server_algorithm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/collapois_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/collapois_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/collapois_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/collapois_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

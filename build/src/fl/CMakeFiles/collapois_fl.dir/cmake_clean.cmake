@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_fl.dir/aggregator.cpp.o"
+  "CMakeFiles/collapois_fl.dir/aggregator.cpp.o.d"
+  "CMakeFiles/collapois_fl.dir/client.cpp.o"
+  "CMakeFiles/collapois_fl.dir/client.cpp.o.d"
+  "CMakeFiles/collapois_fl.dir/metafed.cpp.o"
+  "CMakeFiles/collapois_fl.dir/metafed.cpp.o.d"
+  "CMakeFiles/collapois_fl.dir/server.cpp.o"
+  "CMakeFiles/collapois_fl.dir/server.cpp.o.d"
+  "CMakeFiles/collapois_fl.dir/server_algorithm.cpp.o"
+  "CMakeFiles/collapois_fl.dir/server_algorithm.cpp.o.d"
+  "libcollapois_fl.a"
+  "libcollapois_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

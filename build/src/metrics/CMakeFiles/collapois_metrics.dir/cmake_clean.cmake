@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_metrics.dir/client_metrics.cpp.o"
+  "CMakeFiles/collapois_metrics.dir/client_metrics.cpp.o.d"
+  "CMakeFiles/collapois_metrics.dir/clusters.cpp.o"
+  "CMakeFiles/collapois_metrics.dir/clusters.cpp.o.d"
+  "CMakeFiles/collapois_metrics.dir/telemetry.cpp.o"
+  "CMakeFiles/collapois_metrics.dir/telemetry.cpp.o.d"
+  "libcollapois_metrics.a"
+  "libcollapois_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

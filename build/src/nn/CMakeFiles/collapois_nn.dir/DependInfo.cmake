@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/eval.cpp" "src/nn/CMakeFiles/collapois_nn.dir/eval.cpp.o" "gcc" "src/nn/CMakeFiles/collapois_nn.dir/eval.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/collapois_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/collapois_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/collapois_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/collapois_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/collapois_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/collapois_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/nn/CMakeFiles/collapois_nn.dir/sgd.cpp.o" "gcc" "src/nn/CMakeFiles/collapois_nn.dir/sgd.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/nn/CMakeFiles/collapois_nn.dir/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/collapois_nn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/collapois_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/collapois_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/collapois_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_nn.dir/eval.cpp.o"
+  "CMakeFiles/collapois_nn.dir/eval.cpp.o.d"
+  "CMakeFiles/collapois_nn.dir/layers.cpp.o"
+  "CMakeFiles/collapois_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/collapois_nn.dir/loss.cpp.o"
+  "CMakeFiles/collapois_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/collapois_nn.dir/model.cpp.o"
+  "CMakeFiles/collapois_nn.dir/model.cpp.o.d"
+  "CMakeFiles/collapois_nn.dir/sgd.cpp.o"
+  "CMakeFiles/collapois_nn.dir/sgd.cpp.o.d"
+  "CMakeFiles/collapois_nn.dir/zoo.cpp.o"
+  "CMakeFiles/collapois_nn.dir/zoo.cpp.o.d"
+  "libcollapois_nn.a"
+  "libcollapois_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_sim.dir/config.cpp.o"
+  "CMakeFiles/collapois_sim.dir/config.cpp.o.d"
+  "CMakeFiles/collapois_sim.dir/report.cpp.o"
+  "CMakeFiles/collapois_sim.dir/report.cpp.o.d"
+  "CMakeFiles/collapois_sim.dir/runner.cpp.o"
+  "CMakeFiles/collapois_sim.dir/runner.cpp.o.d"
+  "libcollapois_sim.a"
+  "libcollapois_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_stats.dir/geometry.cpp.o"
+  "CMakeFiles/collapois_stats.dir/geometry.cpp.o.d"
+  "CMakeFiles/collapois_stats.dir/rng.cpp.o"
+  "CMakeFiles/collapois_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/collapois_stats.dir/special.cpp.o"
+  "CMakeFiles/collapois_stats.dir/special.cpp.o.d"
+  "CMakeFiles/collapois_stats.dir/summary.cpp.o"
+  "CMakeFiles/collapois_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/collapois_stats.dir/tests.cpp.o"
+  "CMakeFiles/collapois_stats.dir/tests.cpp.o.d"
+  "libcollapois_stats.a"
+  "libcollapois_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

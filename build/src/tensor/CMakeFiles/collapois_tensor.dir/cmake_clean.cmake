@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_tensor.dir/linalg.cpp.o"
+  "CMakeFiles/collapois_tensor.dir/linalg.cpp.o.d"
+  "CMakeFiles/collapois_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/collapois_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/collapois_tensor.dir/vecops.cpp.o"
+  "CMakeFiles/collapois_tensor.dir/vecops.cpp.o.d"
+  "libcollapois_tensor.a"
+  "libcollapois_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

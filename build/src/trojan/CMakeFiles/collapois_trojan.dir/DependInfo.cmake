@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trojan/embedding_trigger.cpp" "src/trojan/CMakeFiles/collapois_trojan.dir/embedding_trigger.cpp.o" "gcc" "src/trojan/CMakeFiles/collapois_trojan.dir/embedding_trigger.cpp.o.d"
+  "/root/repo/src/trojan/patch_trigger.cpp" "src/trojan/CMakeFiles/collapois_trojan.dir/patch_trigger.cpp.o" "gcc" "src/trojan/CMakeFiles/collapois_trojan.dir/patch_trigger.cpp.o.d"
+  "/root/repo/src/trojan/poison.cpp" "src/trojan/CMakeFiles/collapois_trojan.dir/poison.cpp.o" "gcc" "src/trojan/CMakeFiles/collapois_trojan.dir/poison.cpp.o.d"
+  "/root/repo/src/trojan/trigger.cpp" "src/trojan/CMakeFiles/collapois_trojan.dir/trigger.cpp.o" "gcc" "src/trojan/CMakeFiles/collapois_trojan.dir/trigger.cpp.o.d"
+  "/root/repo/src/trojan/warp_trigger.cpp" "src/trojan/CMakeFiles/collapois_trojan.dir/warp_trigger.cpp.o" "gcc" "src/trojan/CMakeFiles/collapois_trojan.dir/warp_trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/collapois_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/collapois_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/collapois_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collapois_trojan.dir/embedding_trigger.cpp.o"
+  "CMakeFiles/collapois_trojan.dir/embedding_trigger.cpp.o.d"
+  "CMakeFiles/collapois_trojan.dir/patch_trigger.cpp.o"
+  "CMakeFiles/collapois_trojan.dir/patch_trigger.cpp.o.d"
+  "CMakeFiles/collapois_trojan.dir/poison.cpp.o"
+  "CMakeFiles/collapois_trojan.dir/poison.cpp.o.d"
+  "CMakeFiles/collapois_trojan.dir/trigger.cpp.o"
+  "CMakeFiles/collapois_trojan.dir/trigger.cpp.o.d"
+  "CMakeFiles/collapois_trojan.dir/warp_trigger.cpp.o"
+  "CMakeFiles/collapois_trojan.dir/warp_trigger.cpp.o.d"
+  "libcollapois_trojan.a"
+  "libcollapois_trojan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collapois_trojan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_attacks.cpp" "tests/CMakeFiles/collapois_tests.dir/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_attacks.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/collapois_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/collapois_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_defense.cpp" "tests/CMakeFiles/collapois_tests.dir/test_defense.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_defense.cpp.o.d"
+  "/root/repo/tests/test_defense_extended.cpp" "tests/CMakeFiles/collapois_tests.dir/test_defense_extended.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_defense_extended.cpp.o.d"
+  "/root/repo/tests/test_fl.cpp" "tests/CMakeFiles/collapois_tests.dir/test_fl.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_fl.cpp.o.d"
+  "/root/repo/tests/test_inference_detect.cpp" "tests/CMakeFiles/collapois_tests.dir/test_inference_detect.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_inference_detect.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/collapois_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/collapois_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_nn_training.cpp" "tests/CMakeFiles/collapois_tests.dir/test_nn_training.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_nn_training.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/collapois_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/collapois_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_sim_integration.cpp" "tests/CMakeFiles/collapois_tests.dir/test_sim_integration.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_sim_integration.cpp.o.d"
+  "/root/repo/tests/test_stats_geometry.cpp" "tests/CMakeFiles/collapois_tests.dir/test_stats_geometry.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_stats_geometry.cpp.o.d"
+  "/root/repo/tests/test_stats_rng.cpp" "tests/CMakeFiles/collapois_tests.dir/test_stats_rng.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_stats_rng.cpp.o.d"
+  "/root/repo/tests/test_stats_special.cpp" "tests/CMakeFiles/collapois_tests.dir/test_stats_special.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_stats_special.cpp.o.d"
+  "/root/repo/tests/test_stats_summary.cpp" "tests/CMakeFiles/collapois_tests.dir/test_stats_summary.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_stats_summary.cpp.o.d"
+  "/root/repo/tests/test_stats_tests.cpp" "tests/CMakeFiles/collapois_tests.dir/test_stats_tests.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_stats_tests.cpp.o.d"
+  "/root/repo/tests/test_targeted.cpp" "tests/CMakeFiles/collapois_tests.dir/test_targeted.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_targeted.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/collapois_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_trojan.cpp" "tests/CMakeFiles/collapois_tests.dir/test_trojan.cpp.o" "gcc" "tests/CMakeFiles/collapois_tests.dir/test_trojan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/collapois_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/collapois_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/collapois_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/collapois_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/collapois_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/collapois_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/collapois_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/collapois_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/collapois_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/collapois_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/collapois_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
