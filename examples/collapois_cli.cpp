@@ -22,6 +22,17 @@
 //   --topk             also print top-1/25/50% infected-client metrics
 //   --clusters         print the risk-cluster table (Eq. 8 / Eq. 9)
 //   --csv              emit population metrics as CSV
+//
+// Fault injection and hardening (DESIGN.md §6):
+//   --dropout F        per-round client dropout probability [0]
+//   --straggler F      straggler probability (stale compute, damped) [0]
+//   --corrupt F        corrupted-update probability (NaN/dim/blow-up) [0]
+//   --norm-ceiling F   quarantine updates with L2 norm above F [0 = off]
+//   --json-rounds      emit per-round telemetry (fault accounting) as JSON
+//
+// Checkpoint/resume (bit-exact; sim/checkpoint.h):
+//   --checkpoint PATH --checkpoint-round N   halt after N rounds, save
+//   --resume PATH                            restore and run to --rounds
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -44,9 +55,11 @@ using namespace collapois;
 int main(int argc, char** argv) {
   sim::ExperimentConfig cfg;
   cfg.attack = sim::AttackKind::collapois;
+  sim::RunOptions opts;
   bool want_topk = false;
   bool want_clusters = false;
   bool want_csv = false;
+  bool want_json_rounds = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -79,6 +92,22 @@ int main(int argc, char** argv) {
         cfg.attack_start_round = std::stoul(value());
       } else if (flag == "--seed") {
         cfg.seed = std::stoull(value());
+      } else if (flag == "--dropout") {
+        cfg.faults.dropout_prob = std::stod(value());
+      } else if (flag == "--straggler") {
+        cfg.faults.straggler_prob = std::stod(value());
+      } else if (flag == "--corrupt") {
+        cfg.faults.corrupt_prob = std::stod(value());
+      } else if (flag == "--norm-ceiling") {
+        cfg.update_norm_ceiling = std::stod(value());
+      } else if (flag == "--checkpoint") {
+        opts.checkpoint_save_path = value();
+      } else if (flag == "--checkpoint-round") {
+        opts.checkpoint_round = std::stoul(value());
+      } else if (flag == "--resume") {
+        opts.checkpoint_load_path = value();
+      } else if (flag == "--json-rounds") {
+        want_json_rounds = true;
       } else if (flag == "--topk") {
         want_topk = true;
       } else if (flag == "--clusters") {
@@ -96,13 +125,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!opts.checkpoint_save_path.empty() && opts.checkpoint_round == 0) {
+    usage("--checkpoint also needs --checkpoint-round");
+  }
   std::cerr << "running " << sim::experiment_tag(cfg) << " ...\n";
   sim::ExperimentResult result;
   try {
-    result = sim::run_experiment(cfg);
+    result = sim::run_experiment(cfg, opts);
   } catch (const std::exception& e) {
     usage(std::string("experiment failed: ") + e.what());
   }
+  if (!opts.checkpoint_save_path.empty()) {
+    std::cerr << "checkpoint saved to " << opts.checkpoint_save_path
+              << " after " << result.rounds.size() << " rounds\n";
+  }
+
+  if (want_json_rounds) {
+    // JSON owns stdout so the output stays machine-parseable; the summary
+    // tables still go to stderr for the human running it.
+    sim::write_rounds_json(std::cout, cfg, result.rounds);
+  }
+  std::ostream& out = want_json_rounds ? std::cerr : std::cout;
 
   std::vector<sim::SeriesRow> rows;
   rows.push_back({"all benign clients", result.population.benign_ac,
@@ -116,11 +159,11 @@ int main(int argc, char** argv) {
     }
   }
   if (want_csv) {
-    sim::write_series_csv(std::cout, rows);
+    sim::write_series_csv(out, rows);
   } else {
-    sim::print_series(std::cout, sim::experiment_tag(cfg), rows);
+    sim::print_series(out, sim::experiment_tag(cfg), rows);
     if (want_clusters) {
-      sim::print_clusters(std::cout, "risk clusters", result.clusters);
+      sim::print_clusters(out, "risk clusters", result.clusters);
     }
   }
   return 0;

@@ -33,6 +33,14 @@ class MReplClient : public fl::Client {
   bool is_compromised() const override { return true; }
   fl::ClientUpdate compute_update(const fl::RoundContext& ctx) override;
   void distill_round(nn::Model& personal, nn::Model& teacher) override;
+  // X is checkpointed at the experiment level; the dormant behaviour is
+  // the only per-client mutable state.
+  void save_state(fl::StateWriter& w) const override {
+    if (dormant_) dormant_->save_state(w);
+  }
+  void load_state(fl::StateReader& r) override {
+    if (dormant_) dormant_->load_state(r);
+  }
 
   void set_trojaned_model(tensor::FlatVec x);
   bool armed() const { return !x_.empty(); }

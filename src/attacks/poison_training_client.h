@@ -20,6 +20,8 @@ class PoisonTrainingClient : public fl::Client {
   bool is_compromised() const override { return true; }
   fl::ClientUpdate compute_update(const fl::RoundContext& ctx) override;
   void distill_round(nn::Model& personal, nn::Model& teacher) override;
+  void save_state(fl::StateWriter& w) const override { w.write_rng(rng_); }
+  void load_state(fl::StateReader& r) override { r.read_rng(rng_); }
 
  private:
   std::size_t id_;

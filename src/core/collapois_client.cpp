@@ -88,6 +88,18 @@ fl::ClientUpdate CollaPoisClient::compute_update(const fl::RoundContext& ctx) {
   return u;
 }
 
+void CollaPoisClient::save_state(fl::StateWriter& w) const {
+  w.write_rng(rng_);
+  w.write_double(last_psi_);
+  if (dormant_) dormant_->save_state(w);
+}
+
+void CollaPoisClient::load_state(fl::StateReader& r) {
+  r.read_rng(rng_);
+  last_psi_ = r.read_double();
+  if (dormant_) dormant_->load_state(r);
+}
+
 void CollaPoisClient::distill_round(nn::Model& personal, nn::Model& teacher) {
   if (!armed()) {
     dormant_->distill_round(personal, teacher);

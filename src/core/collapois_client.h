@@ -62,6 +62,11 @@ class CollaPoisClient : public fl::Client {
   bool is_compromised() const override { return true; }
   fl::ClientUpdate compute_update(const fl::RoundContext& ctx) override;
   void distill_round(nn::Model& personal, nn::Model& teacher) override;
+  // X itself is checkpointed once at the experiment level (it is shared
+  // by every compromised client); per-client state is the psi stream and
+  // the dormant behaviour's state.
+  void save_state(fl::StateWriter& w) const override;
+  void load_state(fl::StateReader& r) override;
 
   // Arm (or re-point) the attack at a Trojaned model.
   void set_trojaned_model(tensor::FlatVec x);

@@ -30,6 +30,14 @@ class CrflAggregator : public fl::Aggregator {
                             std::span<const float> global) override;
   void post_update(tensor::FlatVec& params) override;
   std::string name() const override { return "crfl"; }
+  void save_state(fl::StateWriter& w) const override {
+    w.write_rng(rng_);
+    inner_->save_state(w);
+  }
+  void load_state(fl::StateReader& r) override {
+    r.read_rng(rng_);
+    inner_->load_state(r);
+  }
 
   // Certified L2 radius around the smoothed model for a majority-vote
   // margin p in (0.5, 1): radius = noise_std * Phi^{-1}(p).

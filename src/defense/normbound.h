@@ -31,6 +31,14 @@ class NormBoundAggregator : public fl::Aggregator {
   tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
                             std::span<const float> global) override;
   std::string name() const override { return "norm-bound"; }
+  void save_state(fl::StateWriter& w) const override {
+    w.write_rng(rng_);
+    inner_->save_state(w);
+  }
+  void load_state(fl::StateReader& r) override {
+    r.read_rng(rng_);
+    inner_->load_state(r);
+  }
 
  private:
   NormBoundConfig config_;
@@ -55,6 +63,14 @@ class DpAggregator : public fl::Aggregator {
   tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
                             std::span<const float> global) override;
   std::string name() const override { return "dp"; }
+  void save_state(fl::StateWriter& w) const override {
+    w.write_rng(rng_);
+    inner_->save_state(w);
+  }
+  void load_state(fl::StateReader& r) override {
+    r.read_rng(rng_);
+    inner_->load_state(r);
+  }
 
  private:
   DpConfig config_;

@@ -10,15 +10,22 @@ tensor::FlatVec FedAvgAggregator::aggregate(
   if (updates.empty()) {
     throw std::invalid_argument("FedAvgAggregator: no updates");
   }
-  std::vector<tensor::FlatVec> deltas;
-  std::vector<double> weights;
-  deltas.reserve(updates.size());
-  weights.reserve(updates.size());
+  // Accumulate directly over the updates — no per-update deep copies.
+  const std::size_t dim = updates.front().delta.size();
+  tensor::FlatVec acc = tensor::zeros(dim);
+  double weight_sum = 0.0;
   for (const auto& u : updates) {
-    deltas.push_back(u.delta);
-    weights.push_back(u.weight);
+    if (u.delta.size() != dim) {
+      throw std::invalid_argument("FedAvgAggregator: dimension mismatch");
+    }
+    tensor::axpy_inplace(acc, u.weight, u.delta);
+    weight_sum += u.weight;
   }
-  return tensor::weighted_mean_of(deltas, weights);
+  if (weight_sum <= 0.0) {
+    throw std::invalid_argument("FedAvgAggregator: non-positive weight sum");
+  }
+  tensor::scale_inplace(acc, 1.0 / weight_sum);
+  return acc;
 }
 
 }  // namespace collapois::fl

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "fl/state.h"
 #include "fl/update.h"
 
 namespace collapois::fl {
@@ -25,6 +26,12 @@ class Aggregator {
   // model-smoothness defenses (CRFL) clip and perturb the model itself
   // here. Default: no-op.
   virtual void post_update(tensor::FlatVec& /*params*/) {}
+
+  // Checkpoint support: serialize mutable state (noise RNG streams).
+  // Stateless aggregators keep the no-op default; decorators must include
+  // their inner aggregator's state.
+  virtual void save_state(StateWriter& /*w*/) const {}
+  virtual void load_state(StateReader& /*r*/) {}
 
   virtual std::string name() const = 0;
 };

@@ -26,6 +26,14 @@ class FlAlgorithm {
 
   virtual std::size_t num_clients() const = 0;
   virtual std::string name() const = 0;
+
+  // Checkpoint support: serialize every piece of state the round loop
+  // mutates (server params/round/RNG, aggregator noise RNGs, per-client
+  // RNGs and drift variables; MetaFed's personal models). load_state
+  // assumes the algorithm was reconstructed identically (same config,
+  // same construction-time seeds) and only restores the mutable state.
+  virtual void save_state(StateWriter& w) const = 0;
+  virtual void load_state(StateReader& r) = 0;
 };
 
 }  // namespace collapois::fl

@@ -28,6 +28,10 @@ ClientUpdate BenignClient::compute_update(const RoundContext& ctx) {
   return u;
 }
 
+void BenignClient::save_state(StateWriter& w) const { w.write_rng(rng_); }
+
+void BenignClient::load_state(StateReader& r) { r.read_rng(rng_); }
+
 void BenignClient::distill_round(nn::Model& personal, nn::Model& teacher) {
   // MetaFed's cyclic knowledge transfer: the common knowledge arrives
   // through the teacher's *parameters* (the student warm-starts from
@@ -82,6 +86,16 @@ ClientUpdate FedDcClient::compute_update(const RoundContext& ctx) {
   u.delta = tensor::sub(ctx.global, corrected);
   u.weight = 1.0;
   return u;
+}
+
+void FedDcClient::save_state(StateWriter& w) const {
+  BenignClient::save_state(w);
+  w.write_floats(drift_);
+}
+
+void FedDcClient::load_state(StateReader& r) {
+  BenignClient::load_state(r);
+  drift_ = r.read_floats();
 }
 
 tensor::FlatVec FedDcClient::eval_params(std::span<const float> global) {

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "data/dataset.h"
+#include "fl/state.h"
 #include "fl/update.h"
 #include "nn/model.h"
 #include "nn/sgd.h"
@@ -42,6 +43,13 @@ class Client {
   // MetaFed-style round: update `personal` using `teacher` as the source
   // of common knowledge.
   virtual void distill_round(nn::Model& personal, nn::Model& teacher) = 0;
+
+  // Checkpoint support: serialize exactly the state that evolves across
+  // rounds (local RNG streams, drift variables). Scratch models reset
+  // from the broadcast globals each round are NOT state. Writer and
+  // reader must mirror each other field-for-field.
+  virtual void save_state(StateWriter& /*w*/) const {}
+  virtual void load_state(StateReader& /*r*/) {}
 };
 
 // A legitimate participant: K local epochs of mini-batch SGD from the
@@ -54,6 +62,8 @@ class BenignClient : public Client {
   std::size_t id() const override { return id_; }
   ClientUpdate compute_update(const RoundContext& ctx) override;
   void distill_round(nn::Model& personal, nn::Model& teacher) override;
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
  protected:
   const data::Dataset& train_data() const { return *train_; }
@@ -87,6 +97,9 @@ class FedDcClient : public BenignClient {
   // pass (the standard PFL evaluation protocol — a client's serving model
   // is derived from the latest global, not a stale snapshot).
   tensor::FlatVec eval_params(std::span<const float> global) override;
+
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
  private:
   double drift_penalty_;

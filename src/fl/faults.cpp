@@ -1,0 +1,191 @@
+#include "fl/faults.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace collapois::fl {
+
+namespace {
+
+std::uint64_t splitmix64_once(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Counter-based uniform in [0, 1) for the (seed, client, round, lane)
+// cell; `lane` separates the fault draw from the corruption-kind draw.
+double cell_uniform(std::uint64_t seed, std::size_t client_id,
+                    std::size_t round, std::uint64_t lane) {
+  std::uint64_t h = splitmix64_once(seed ^ (0x9e3779b97f4a7c15ULL * lane));
+  h = splitmix64_once(h ^ static_cast<std::uint64_t>(client_id));
+  h = splitmix64_once(h ^ static_cast<std::uint64_t>(round));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::none: return "none";
+    case FaultKind::dropout: return "dropout";
+    case FaultKind::straggler: return "straggler";
+    case FaultKind::corrupt_nan: return "corrupt-nan";
+    case FaultKind::corrupt_inf: return "corrupt-inf";
+    case FaultKind::corrupt_truncate: return "corrupt-truncate";
+    case FaultKind::corrupt_blowup: return "corrupt-blowup";
+  }
+  return "unknown";
+}
+
+bool FaultConfig::any() const {
+  return dropout_prob > 0.0 || straggler_prob > 0.0 || corrupt_prob > 0.0 ||
+         !pinned.empty();
+}
+
+FaultModel::FaultModel(FaultConfig config) : config_(std::move(config)) {
+  auto check_prob = [](double p, const char* name) {
+    if (p < 0.0 || p > 1.0 || !std::isfinite(p)) {
+      throw std::invalid_argument(std::string("FaultModel: ") + name +
+                                  " must be in [0, 1]");
+    }
+  };
+  check_prob(config_.dropout_prob, "dropout_prob");
+  check_prob(config_.straggler_prob, "straggler_prob");
+  check_prob(config_.corrupt_prob, "corrupt_prob");
+  if (config_.dropout_prob + config_.straggler_prob + config_.corrupt_prob >
+      1.0) {
+    throw std::invalid_argument(
+        "FaultModel: fault probabilities must sum to at most 1");
+  }
+}
+
+FaultKind FaultModel::decide(std::size_t client_id, std::size_t round) const {
+  const auto pinned = config_.pinned.find(client_id);
+  if (pinned != config_.pinned.end()) return pinned->second;
+
+  const double u = cell_uniform(config_.seed, client_id, round, 1);
+  double edge = config_.dropout_prob;
+  if (u < edge) return FaultKind::dropout;
+  edge += config_.straggler_prob;
+  if (u < edge) return FaultKind::straggler;
+  edge += config_.corrupt_prob;
+  if (u < edge) {
+    const double v = cell_uniform(config_.seed, client_id, round, 2);
+    if (v < 0.25) return FaultKind::corrupt_nan;
+    if (v < 0.50) return FaultKind::corrupt_inf;
+    if (v < 0.75) return FaultKind::corrupt_truncate;
+    return FaultKind::corrupt_blowup;
+  }
+  return FaultKind::none;
+}
+
+void FaultModel::observe_global(std::size_t round,
+                                std::span<const float> global) {
+  if (config_.straggler_prob <= 0.0 &&
+      config_.pinned.empty()) {
+    return;  // nothing will ever read the history
+  }
+  if (history_.count(round) != 0) return;
+  history_.emplace(round, tensor::FlatVec(global.begin(), global.end()));
+  // Keep straggler_staleness + 1 rounds: enough for the deepest lookback.
+  while (history_.size() > config_.straggler_staleness + 1) {
+    history_.erase(history_.begin());
+  }
+}
+
+const tensor::FlatVec& FaultModel::stale_global(
+    std::size_t round, std::size_t* actual_staleness) const {
+  if (history_.empty()) {
+    throw std::logic_error(
+        "FaultModel::stale_global: no observed history (observe_global must "
+        "run before the straggler path)");
+  }
+  const std::size_t want =
+      round >= config_.straggler_staleness ? round - config_.straggler_staleness
+                                           : 0;
+  // The newest recorded round <= want; when the history starts later than
+  // `want` (early rounds, or a cohort gap), fall back to the oldest entry.
+  auto it = history_.upper_bound(want);
+  if (it != history_.begin()) --it;
+  if (actual_staleness != nullptr) {
+    *actual_staleness = round - it->first;
+  }
+  return it->second;
+}
+
+void FaultModel::save_state(StateWriter& w) const {
+  w.write_size(history_.size());
+  for (const auto& [round, global] : history_) {
+    w.write_size(round);
+    w.write_floats(global);
+  }
+}
+
+void FaultModel::load_state(StateReader& r) {
+  history_.clear();
+  const std::size_t n = r.read_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t round = r.read_size();
+    history_.emplace(round, r.read_floats());
+  }
+}
+
+FaultyClient::FaultyClient(std::unique_ptr<Client> inner,
+                           std::shared_ptr<FaultModel> faults)
+    : inner_(std::move(inner)), faults_(std::move(faults)) {
+  if (!inner_) throw std::invalid_argument("FaultyClient: null inner client");
+  if (!faults_) throw std::invalid_argument("FaultyClient: null fault model");
+}
+
+ClientUpdate FaultyClient::compute_update(const RoundContext& ctx) {
+  faults_->observe_global(ctx.round, ctx.global);
+  const FaultKind fault = faults_->decide(inner_->id(), ctx.round);
+  switch (fault) {
+    case FaultKind::none:
+      return inner_->compute_update(ctx);
+    case FaultKind::dropout: {
+      // Sampled but never reports: no local compute, no RNG consumption.
+      ClientUpdate u;
+      u.client_id = inner_->id();
+      u.weight = 0.0;
+      u.status = UpdateStatus::dropped;
+      return u;
+    }
+    case FaultKind::straggler: {
+      std::size_t staleness = 0;
+      const tensor::FlatVec& stale = faults_->stale_global(ctx.round,
+                                                           &staleness);
+      RoundContext stale_ctx{ctx.round, stale};
+      ClientUpdate u = inner_->compute_update(stale_ctx);
+      u.status = UpdateStatus::straggler;
+      u.staleness = staleness;
+      return u;
+    }
+    case FaultKind::corrupt_nan:
+    case FaultKind::corrupt_inf: {
+      ClientUpdate u = inner_->compute_update(ctx);
+      const float bad = fault == FaultKind::corrupt_nan
+                            ? std::numeric_limits<float>::quiet_NaN()
+                            : std::numeric_limits<float>::infinity();
+      for (std::size_t i = 0; i < u.delta.size(); i += 17) u.delta[i] = bad;
+      if (!u.delta.empty()) u.delta[0] = bad;
+      return u;
+    }
+    case FaultKind::corrupt_truncate: {
+      ClientUpdate u = inner_->compute_update(ctx);
+      u.delta.resize(u.delta.size() / 2);
+      return u;
+    }
+    case FaultKind::corrupt_blowup: {
+      ClientUpdate u = inner_->compute_update(ctx);
+      tensor::scale_inplace(u.delta, 1e6);
+      return u;
+    }
+  }
+  throw std::logic_error("FaultyClient: unhandled fault kind");
+}
+
+}  // namespace collapois::fl

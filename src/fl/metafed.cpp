@@ -85,4 +85,28 @@ tensor::FlatVec MetaFedAlgorithm::client_eval_params(
   return personal_.at(client_index).get_parameters();
 }
 
+void MetaFedAlgorithm::save_state(StateWriter& w) const {
+  w.write_size(round_);
+  w.write_rng(rng_);
+  w.write_size(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    w.write_floats(personal_[i].get_parameters());
+    clients_[i]->save_state(w);
+  }
+}
+
+void MetaFedAlgorithm::load_state(StateReader& r) {
+  round_ = r.read_size();
+  r.read_rng(rng_);
+  const std::size_t n = r.read_size();
+  if (n != clients_.size()) {
+    throw std::runtime_error(
+        "MetaFedAlgorithm::load_state: client count mismatch");
+  }
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    personal_[i].set_parameters(r.read_floats());
+    clients_[i]->load_state(r);
+  }
+}
+
 }  // namespace collapois::fl

@@ -47,6 +47,8 @@ class MetaFedAlgorithm : public FlAlgorithm {
   tensor::FlatVec client_eval_params(std::size_t client_index) override;
   std::size_t num_clients() const override { return clients_.size(); }
   std::string name() const override { return "metafed"; }
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
  private:
   std::vector<std::unique_ptr<Client>> clients_;

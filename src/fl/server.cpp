@@ -1,8 +1,56 @@
 #include "fl/server.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace collapois::fl {
+
+namespace {
+
+// Validation verdict for one incoming update. Checks cheapest-first:
+// dimension, finiteness, then the optional norm ceiling.
+bool validate_update(const ClientUpdate& u, std::size_t dim,
+                     double norm_ceiling, RejectReason* reason) {
+  if (u.delta.size() != dim) {
+    *reason = RejectReason::dim_mismatch;
+    return false;
+  }
+  double sq = 0.0;
+  for (float x : u.delta) {
+    if (!std::isfinite(x)) {
+      *reason = RejectReason::non_finite;
+      return false;
+    }
+    sq += static_cast<double>(x) * static_cast<double>(x);
+  }
+  if (!std::isfinite(u.weight) || u.weight < 0.0) {
+    *reason = RejectReason::non_finite;
+    return false;
+  }
+  if (norm_ceiling > 0.0 && std::sqrt(sq) > norm_ceiling) {
+    *reason = RejectReason::norm_exceeded;
+    return false;
+  }
+  return true;
+}
+
+bool all_finite(std::span<const float> v) {
+  for (float x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::non_finite: return "non-finite";
+    case RejectReason::dim_mismatch: return "dim-mismatch";
+    case RejectReason::norm_exceeded: return "norm-exceeded";
+  }
+  return "unknown";
+}
 
 Server::Server(tensor::FlatVec initial_params, std::unique_ptr<Aggregator> agg,
                ServerConfig config, stats::Rng rng)
@@ -14,6 +62,9 @@ Server::Server(tensor::FlatVec initial_params, std::unique_ptr<Aggregator> agg,
   if (params_.empty()) throw std::invalid_argument("Server: empty params");
   if (config_.sample_prob <= 0.0 || config_.sample_prob > 1.0) {
     throw std::invalid_argument("Server: sample_prob must be in (0, 1]");
+  }
+  if (config_.update_norm_ceiling < 0.0) {
+    throw std::invalid_argument("Server: negative update_norm_ceiling");
   }
 }
 
@@ -36,22 +87,65 @@ RoundTelemetry Server::run_round(const std::vector<Client*>& clients) {
 
   RoundContext ctx{round_, params_};
   for (Client* c : sampled) {
-    t.sampled_ids.push_back(c->id());
-    t.updates.push_back(c->compute_update(ctx));
-    t.compromised.push_back(c->is_compromised());
-    if (t.updates.back().delta.size() != params_.size()) {
-      throw std::logic_error("run_round: update dimension mismatch");
+    ClientUpdate u = c->compute_update(ctx);
+    if (u.status == UpdateStatus::dropped) {
+      t.dropped_ids.push_back(c->id());
+      continue;
     }
+    RejectReason reason = RejectReason::non_finite;
+    if (!validate_update(u, params_.size(), config_.update_norm_ceiling,
+                         &reason)) {
+      t.rejected_ids.push_back(c->id());
+      t.reject_reasons.push_back(reason);
+      continue;
+    }
+    if (u.status == UpdateStatus::straggler) {
+      // Staleness damping: a k-round-late update moves the model with
+      // weight 1 / (1 + k) of a fresh one (FedAsync-style polynomial
+      // damping with exponent 1).
+      u.weight /= 1.0 + static_cast<double>(u.staleness);
+      ++t.n_stragglers;
+    }
+    t.sampled_ids.push_back(c->id());
+    t.compromised.push_back(c->is_compromised());
+    t.updates.push_back(std::move(u));
+  }
+
+  if (t.updates.empty()) {
+    // Whole cohort failed: skip the round, leave the model untouched.
+    t.aggregate_skipped = true;
+    t.aggregated = tensor::zeros(params_.size());
+    ++round_;
+    return t;
   }
 
   t.aggregated = agg_->aggregate(t.updates, params_);
-  if (t.aggregated.size() != params_.size()) {
-    throw std::logic_error("run_round: aggregate dimension mismatch");
+  if (t.aggregated.size() != params_.size() || !all_finite(t.aggregated)) {
+    // An aggregator that emits garbage from well-formed inputs is treated
+    // like a failed cohort: quarantine the round, not the process.
+    t.aggregate_skipped = true;
+    t.aggregated = tensor::zeros(params_.size());
+    ++round_;
+    return t;
   }
   tensor::axpy_inplace(params_, -config_.learning_rate, t.aggregated);
   agg_->post_update(params_);
   ++round_;
   return t;
+}
+
+void Server::save_state(StateWriter& w) const {
+  w.write_floats(params_);
+  w.write_size(round_);
+  w.write_rng(rng_);
+  agg_->save_state(w);
+}
+
+void Server::load_state(StateReader& r) {
+  params_ = r.read_floats();
+  round_ = r.read_size();
+  r.read_rng(rng_);
+  agg_->load_state(r);
 }
 
 }  // namespace collapois::fl

@@ -18,17 +18,43 @@ struct ServerConfig {
   double learning_rate = 1.0;
   // Independent per-client sampling probability q (Algorithm 1 line 5).
   double sample_prob = 0.01;
+  // Quarantine any update whose L2 norm exceeds this ceiling (0 disables;
+  // non-finite and wrong-dimension updates are always quarantined).
+  double update_norm_ceiling = 0.0;
 };
+
+// Why an update was quarantined instead of aggregated.
+enum class RejectReason { non_finite, dim_mismatch, norm_exceeded };
+
+const char* reject_reason_name(RejectReason reason);
 
 struct RoundTelemetry {
   std::size_t round = 0;
+  // Ids of the clients whose updates were ACCEPTED into the aggregate.
+  // Clients that were sampled but dropped out or were quarantined appear
+  // in dropped_ids / rejected_ids instead, so the three vectors below
+  // stay parallel and every retained update is well-formed.
   std::vector<std::size_t> sampled_ids;
-  // The raw updates of the round (pseudo-gradients), in sampling order.
+  // The accepted updates of the round (pseudo-gradients), in sampling
+  // order; straggler weights already damped.
   std::vector<ClientUpdate> updates;
   // Flags parallel to `updates`.
   std::vector<bool> compromised;
-  // The aggregated pseudo-gradient actually applied.
+  // The aggregated pseudo-gradient actually applied (zeros when the round
+  // was skipped).
   tensor::FlatVec aggregated;
+
+  // Fault accounting (fl/faults.h). Sampled cohort size is
+  // sampled_ids.size() + dropped_ids.size() + rejected_ids.size().
+  std::vector<std::size_t> dropped_ids;
+  std::vector<std::size_t> rejected_ids;
+  // Parallel to rejected_ids.
+  std::vector<RejectReason> reject_reasons;
+  // Count of accepted updates that arrived stale (weight-damped).
+  std::size_t n_stragglers = 0;
+  // True when the whole cohort failed and the global model was left
+  // untouched this round.
+  bool aggregate_skipped = false;
 };
 
 class Server {
@@ -38,13 +64,22 @@ class Server {
 
   // Run one round over the client population. Samples each client
   // independently with probability q (at least one client is always
-  // sampled). Returns the round's telemetry.
+  // sampled). Every incoming update is validated (dimension, finiteness,
+  // optional norm ceiling); failures are quarantined into the telemetry,
+  // never thrown — one bad client cannot kill a multi-hour run. When the
+  // entire cohort fails the round is skipped with telemetry. Returns the
+  // round's telemetry.
   RoundTelemetry run_round(const std::vector<Client*>& clients);
 
   const tensor::FlatVec& global_params() const { return params_; }
   void set_global_params(tensor::FlatVec p) { params_ = std::move(p); }
   std::size_t round() const { return round_; }
   const Aggregator& aggregator() const { return *agg_; }
+
+  // Checkpoint support: global params, round counter, sampling RNG, and
+  // the aggregator's state (noise RNGs), in that order.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   tensor::FlatVec params_;

@@ -37,4 +37,20 @@ tensor::FlatVec ServerAlgorithm::client_eval_params(
   return clients_.at(client_index)->eval_params(server_.global_params());
 }
 
+void ServerAlgorithm::save_state(StateWriter& w) const {
+  server_.save_state(w);
+  w.write_size(clients_.size());
+  for (const auto& c : clients_) c->save_state(w);
+}
+
+void ServerAlgorithm::load_state(StateReader& r) {
+  server_.load_state(r);
+  const std::size_t n = r.read_size();
+  if (n != clients_.size()) {
+    throw std::runtime_error(
+        "ServerAlgorithm::load_state: client count mismatch");
+  }
+  for (auto& c : clients_) c->load_state(r);
+}
+
 }  // namespace collapois::fl

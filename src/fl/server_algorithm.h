@@ -22,6 +22,8 @@ class ServerAlgorithm : public FlAlgorithm {
   tensor::FlatVec client_eval_params(std::size_t client_index) override;
   std::size_t num_clients() const override { return clients_.size(); }
   std::string name() const override { return name_; }
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
   Server& server() { return server_; }
   Client& client(std::size_t i) { return *clients_.at(i); }

@@ -1,0 +1,99 @@
+#include "fl/state.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace collapois::fl {
+
+void StateWriter::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void StateWriter::write_double(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  write_u64(bits);
+}
+
+void StateWriter::write_floats(std::span<const float> v) {
+  write_size(v.size());
+  for (float x : v) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &x, sizeof(bits));
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+  }
+}
+
+void StateWriter::write_bytes(std::span<const std::uint8_t> v) {
+  write_size(v.size());
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void StateWriter::write_rng(const stats::Rng& rng) {
+  const stats::Rng::State st = rng.state();
+  for (std::uint64_t s : st.s) write_u64(s);
+  write_double(st.cached_normal);
+  write_bool(st.has_cached_normal);
+}
+
+std::uint64_t StateReader::read_u64() {
+  if (pos_ + 8 > bytes_.size()) {
+    throw std::runtime_error("StateReader: truncated state blob");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double StateReader::read_double() {
+  const std::uint64_t bits = read_u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+tensor::FlatVec StateReader::read_floats() {
+  const std::size_t n = read_size();
+  if (pos_ + 4 * n > bytes_.size()) {
+    throw std::runtime_error("StateReader: truncated float vector");
+  }
+  tensor::FlatVec out(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::uint32_t bits = 0;
+    for (int i = 0; i < 4; ++i) {
+      bits |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    std::memcpy(&out[j], &bits, sizeof(float));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> StateReader::read_bytes() {
+  const std::size_t n = read_size();
+  if (pos_ + n > bytes_.size()) {
+    throw std::runtime_error("StateReader: truncated byte blob");
+  }
+  std::vector<std::uint8_t> out(bytes_.begin() + pos_,
+                                bytes_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+void StateReader::read_rng(stats::Rng& rng) {
+  stats::Rng::State st;
+  for (std::uint64_t& s : st.s) s = read_u64();
+  st.cached_normal = read_double();
+  st.has_cached_normal = read_bool();
+  rng.set_state(st);
+}
+
+}  // namespace collapois::fl

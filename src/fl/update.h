@@ -23,12 +23,23 @@
 
 namespace collapois::fl {
 
+// Delivery status of an update under the fault model (fl/faults.h). The
+// idealized protocol only ever produces `ok`; the fault layer adds
+// clients that were sampled but never report (`dropped`, empty delta)
+// and stragglers whose update was computed against a stale global model
+// (`straggler`, with `staleness` recording how many rounds stale).
+enum class UpdateStatus { ok, dropped, straggler };
+
 struct ClientUpdate {
   std::size_t client_id = 0;
   // Pseudo-gradient in R^m (descent convention, see above).
   tensor::FlatVec delta;
   // Aggregation weight; Algorithm 1 averages uniformly over |S_t|.
   double weight = 1.0;
+  UpdateStatus status = UpdateStatus::ok;
+  // Rounds of staleness of the model this update was computed against
+  // (nonzero only for stragglers).
+  std::size_t staleness = 0;
 };
 
 struct RoundContext {

@@ -1,0 +1,111 @@
+#include "sim/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "fl/state.h"
+
+namespace collapois::sim {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x434f4c4c41504b54ULL;  // "COLLAPKT"
+constexpr std::uint64_t kVersion = 1;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return mix(h, bits);
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const ExperimentConfig& c) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  h = mix(h, c.seed);
+  h = mix(h, static_cast<std::uint64_t>(c.dataset));
+  h = mix(h, static_cast<std::uint64_t>(c.algorithm));
+  h = mix(h, static_cast<std::uint64_t>(c.attack));
+  h = mix(h, static_cast<std::uint64_t>(c.defense));
+  h = mix(h, c.n_clients);
+  h = mix(h, c.samples_per_client);
+  h = mix(h, c.attack_start_round);
+  h = mix_double(h, c.alpha);
+  h = mix_double(h, c.compromised_fraction);
+  h = mix_double(h, c.sample_prob);
+  h = mix_double(h, c.server_lr);
+  h = mix_double(h, c.update_norm_ceiling);
+  h = mix(h, c.faults.seed);
+  h = mix_double(h, c.faults.dropout_prob);
+  h = mix_double(h, c.faults.straggler_prob);
+  h = mix_double(h, c.faults.corrupt_prob);
+  h = mix(h, c.faults.straggler_staleness);
+  // cfg.rounds is deliberately excluded: resuming with a larger round
+  // budget than the checkpointed run is a supported way to extend an
+  // experiment.
+  return h;
+}
+
+void save_checkpoint_file(const std::string& path, const Checkpoint& ck) {
+  fl::StateWriter w;
+  w.write_u64(kMagic);
+  w.write_u64(kVersion);
+  w.write_u64(ck.fingerprint);
+  w.write_size(ck.rounds_completed);
+  for (std::uint64_t s : ck.run_rng.s) w.write_u64(s);
+  w.write_double(ck.run_rng.cached_normal);
+  w.write_bool(ck.run_rng.has_cached_normal);
+  w.write_floats(ck.trojaned_model);
+  w.write_bytes(ck.fault_state);
+  w.write_bytes(ck.algo_state);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("save_checkpoint_file: cannot open " + path);
+  }
+  const auto& bytes = w.bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw std::runtime_error("save_checkpoint_file: write failed for " + path);
+  }
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_checkpoint_file: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  fl::StateReader r(bytes);
+  if (r.read_u64() != kMagic) {
+    throw std::runtime_error("load_checkpoint_file: bad magic in " + path);
+  }
+  if (r.read_u64() != kVersion) {
+    throw std::runtime_error("load_checkpoint_file: unsupported version in " +
+                             path);
+  }
+  Checkpoint ck;
+  ck.fingerprint = r.read_u64();
+  ck.rounds_completed = r.read_size();
+  for (std::uint64_t& s : ck.run_rng.s) s = r.read_u64();
+  ck.run_rng.cached_normal = r.read_double();
+  ck.run_rng.has_cached_normal = r.read_bool();
+  ck.trojaned_model = r.read_floats();
+  ck.fault_state = r.read_bytes();
+  ck.algo_state = r.read_bytes();
+  if (!r.exhausted()) {
+    throw std::runtime_error("load_checkpoint_file: trailing bytes in " +
+                             path);
+  }
+  return ck;
+}
+
+}  // namespace collapois::sim

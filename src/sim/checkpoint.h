@@ -1,0 +1,48 @@
+// Deterministic checkpoint/resume for run_experiment.
+//
+// A checkpoint freezes every piece of state the round loop mutates —
+// global params, round counter, the experiment's top-level RNG, the
+// attacker's Trojaned model X (once armed), the fault model's stale-model
+// cache, and the algorithm blob (server + aggregator + per-client state,
+// see fl/state.h) — so a run can be stopped mid-experiment and resumed
+// BIT-EXACTLY: a straight 2N-round run and an N-round run + checkpoint +
+// N-round resume produce identical final parameters and identical final
+// client-level evaluations (tested in tests/test_checkpoint.cpp).
+//
+// Resume reconstructs the experiment from the same ExperimentConfig
+// (construction is deterministic given cfg.seed) and then overwrites the
+// mutable state from the checkpoint. A fingerprint of the
+// identity-defining config fields guards against resuming under a
+// different configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "stats/rng.h"
+#include "tensor/vecops.h"
+
+namespace collapois::sim {
+
+struct Checkpoint {
+  std::uint64_t fingerprint = 0;
+  std::size_t rounds_completed = 0;
+  stats::Rng::State run_rng;
+  // The attacker's shared Trojaned model (empty while unarmed).
+  tensor::FlatVec trojaned_model;
+  // Serialized FaultModel history (empty when no faults configured).
+  std::vector<std::uint8_t> fault_state;
+  // Serialized FlAlgorithm state (fl/algorithm.h save_state).
+  std::vector<std::uint8_t> algo_state;
+};
+
+// Hash of the config fields that define the identity of a run; resuming
+// with a config whose fingerprint differs is an error.
+std::uint64_t config_fingerprint(const ExperimentConfig& config);
+
+void save_checkpoint_file(const std::string& path, const Checkpoint& ck);
+Checkpoint load_checkpoint_file(const std::string& path);
+
+}  // namespace collapois::sim

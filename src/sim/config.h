@@ -13,6 +13,7 @@
 #include "core/collapois_client.h"
 #include "core/trojan_trainer.h"
 #include "defense/registry.h"
+#include "fl/faults.h"
 #include "nn/sgd.h"
 
 namespace collapois::sim {
@@ -84,6 +85,14 @@ struct ExperimentConfig {
   attacks::MReplConfig mrepl{.boost = 0.0, .clip = 0.0};  // boost 0 = auto q*N
   attacks::DbaConfig dba;
   core::TrojanTrainConfig trojan_train;
+
+  // Client fault injection (fl/faults.h): dropout / stragglers /
+  // corrupted updates under production conditions. Server-mediated
+  // algorithms only (MetaFed has no update channel to fault).
+  fl::FaultConfig faults;
+  // Server-side quarantine ceiling on the L2 norm of incoming updates
+  // (0 disables; malformed updates are always quarantined).
+  double update_norm_ceiling = 0.0;
 
   // Evaluation.
   std::size_t eval_every = 0;        // 0 = final round only

@@ -37,7 +37,9 @@ void print_rounds(std::ostream& os, const std::string& title,
                   const std::vector<RoundRecord>& rounds) {
   os << "== " << title << " ==\n";
   os << std::right << std::setw(7) << "round" << std::setw(12) << "benign_ac"
-     << std::setw(12) << "attack_sr" << std::setw(12) << "dist_to_X" << "\n";
+     << std::setw(12) << "attack_sr" << std::setw(12) << "dist_to_X"
+     << std::setw(10) << "accepted" << std::setw(10) << "dropped"
+     << std::setw(10) << "rejected" << std::setw(8) << "stale" << "\n";
   for (const auto& r : rounds) {
     os << std::right << std::setw(7) << r.round << std::fixed
        << std::setprecision(4);
@@ -47,8 +49,12 @@ void print_rounds(std::ostream& os, const std::string& title,
     } else {
       os << std::setw(12) << "-" << std::setw(12) << "-";
     }
-    os << std::setw(12) << r.distance_to_x << "\n";
+    os << std::setw(12) << r.distance_to_x;
     os.unsetf(std::ios::fixed);
+    os << std::setw(10) << r.n_accepted << std::setw(10) << r.n_dropped
+       << std::setw(10) << r.n_rejected << std::setw(8) << r.n_stragglers;
+    if (r.aggregate_skipped) os << "  [round skipped]";
+    os << "\n";
   }
 }
 
@@ -57,6 +63,28 @@ void write_series_csv(std::ostream& os, const std::vector<SeriesRow>& rows) {
   for (const auto& r : rows) {
     os << r.label << ',' << r.benign_ac << ',' << r.attack_sr << "\n";
   }
+}
+
+void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
+                       const std::vector<RoundRecord>& rounds) {
+  os << "{\"tag\": \"" << experiment_tag(config) << "\",\n \"rounds\": [";
+  bool first = true;
+  for (const auto& r : rounds) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"round\": " << r.round << ", \"accepted\": " << r.n_accepted
+       << ", \"dropped\": " << r.n_dropped
+       << ", \"rejected\": " << r.n_rejected
+       << ", \"stragglers\": " << r.n_stragglers
+       << ", \"skipped\": " << (r.aggregate_skipped ? "true" : "false")
+       << ", \"dist_to_x\": " << r.distance_to_x;
+    if (r.population.has_value()) {
+      os << ", \"benign_ac\": " << r.population->benign_ac
+         << ", \"attack_sr\": " << r.population->attack_sr;
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
 }
 
 std::string experiment_tag(const ExperimentConfig& config) {

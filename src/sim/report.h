@@ -28,12 +28,20 @@ void print_clusters(std::ostream& os, const std::string& title,
                     const std::vector<metrics::ClusterResult>& clusters);
 
 // Per-round table (Fig. 13-style): round | benign AC | attack SR |
-// dist-to-X.
+// dist-to-X | accepted | dropped | rejected | stale.
 void print_rounds(std::ostream& os, const std::string& title,
                   const std::vector<RoundRecord>& rounds);
 
 // Comma-separated emission of a series for plotting.
 void write_series_csv(std::ostream& os, const std::vector<SeriesRow>& rows);
+
+// JSON report of a run's per-round records, fault counters included:
+// {"tag": ..., "rounds": [{"round": 0, "accepted": ..., "dropped": ...,
+// "rejected": ..., "stragglers": ..., "skipped": ..., "dist_to_x": ...,
+// "benign_ac": ..., "attack_sr": ...}, ...]}. benign_ac/attack_sr appear
+// only on rounds where the periodic evaluation ran.
+void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
+                       const std::vector<RoundRecord>& rounds);
 
 // Short "dataset/algorithm/attack/defense alpha=..." experiment tag used
 // as a row label.

@@ -6,6 +6,8 @@
 #include "attacks/poison_training_client.h"
 #include "data/partition.h"
 #include "defense/ditto.h"
+#include "fl/faults.h"
+#include "sim/checkpoint.h"
 #include "data/synthetic_image.h"
 #include "data/synthetic_text.h"
 #include "fl/metafed.h"
@@ -223,6 +225,24 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     }
   }
 
+  // --- fault injection ---------------------------------------------------
+  // Wrap every client (benign and compromised alike — churn is
+  // environmental) in the fault decorator. The raw attack-client pointers
+  // captured above stay valid: the wrapper owns the inner client without
+  // moving it.
+  std::shared_ptr<fl::FaultModel> fault_model;
+  if (cfg.faults.any()) {
+    if (cfg.algorithm == AlgorithmKind::metafed) {
+      throw std::invalid_argument(
+          "run_experiment: fault injection targets the server's update "
+          "channel and does not apply to MetaFed");
+    }
+    fault_model = std::make_shared<fl::FaultModel>(cfg.faults);
+    for (auto& c : clients) {
+      c = std::make_unique<fl::FaultyClient>(std::move(c), fault_model);
+    }
+  }
+
   // --- federated algorithm ----------------------------------------------
   std::unique_ptr<fl::FlAlgorithm> algo;
   if (cfg.algorithm == AlgorithmKind::metafed) {
@@ -253,6 +273,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     fl::ServerConfig scfg;
     scfg.learning_rate = cfg.server_lr;
     scfg.sample_prob = cfg.sample_prob;
+    scfg.update_norm_ceiling = cfg.update_norm_ceiling;
     algo = std::make_unique<fl::ServerAlgorithm>(
         std::string(algorithm_name(cfg.algorithm)),
         wb.architecture.get_parameters(), std::move(agg), scfg,
@@ -281,12 +302,62 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     for (auto* c : mrepl_clients) c->set_trojaned_model(result.trojaned_model);
   };
 
-  for (std::size_t t = 0; t < cfg.rounds; ++t) {
+  // --- resume ------------------------------------------------------------
+  std::size_t start_round = 0;
+  if (!options.checkpoint_load_path.empty()) {
+    const Checkpoint ck = load_checkpoint_file(options.checkpoint_load_path);
+    if (ck.fingerprint != config_fingerprint(cfg)) {
+      throw std::invalid_argument(
+          "run_experiment: checkpoint was saved under a different "
+          "experiment configuration");
+    }
+    if (ck.rounds_completed > cfg.rounds) {
+      throw std::invalid_argument(
+          "run_experiment: checkpoint is past this config's round budget");
+    }
+    start_round = ck.rounds_completed;
+    rng.set_state(ck.run_rng);
+    if (!ck.trojaned_model.empty()) {
+      // Re-arm from the saved X instead of retraining it; the fork the
+      // original arming consumed is already reflected in the restored
+      // RNG state.
+      result.trojaned_model = ck.trojaned_model;
+      for (auto* c : collapois_clients) {
+        c->set_trojaned_model(result.trojaned_model);
+      }
+      for (auto* c : mrepl_clients) {
+        c->set_trojaned_model(result.trojaned_model);
+      }
+    }
+    if (fault_model) {
+      fl::StateReader r(ck.fault_state);
+      fault_model->load_state(r);
+    }
+    fl::StateReader r(ck.algo_state);
+    algo->load_state(r);
+  }
+
+  const bool save_requested =
+      !options.checkpoint_save_path.empty() && options.checkpoint_round > 0 &&
+      options.checkpoint_round < cfg.rounds;
+  const std::size_t stop_round =
+      save_requested ? options.checkpoint_round : cfg.rounds;
+  if (save_requested && options.checkpoint_round <= start_round) {
+    throw std::invalid_argument(
+        "run_experiment: checkpoint_round must be past the resume point");
+  }
+
+  for (std::size_t t = start_round; t < stop_round; ++t) {
     if (t >= cfg.attack_start_round) arm_attackers();
     fl::RoundTelemetry telemetry = algo->run_round();
     RoundRecord rec;
     rec.round = t;
     rec.angles = metrics::summarize_round_angles(telemetry);
+    rec.n_accepted = telemetry.sampled_ids.size();
+    rec.n_dropped = telemetry.dropped_ids.size();
+    rec.n_rejected = telemetry.rejected_ids.size();
+    rec.n_stragglers = telemetry.n_stragglers;
+    rec.aggregate_skipped = telemetry.aggregate_skipped;
     if (!result.trojaned_model.empty() &&
         cfg.algorithm != AlgorithmKind::metafed) {
       rec.distance_to_x = stats::l2_distance(algo->global_params(),
@@ -305,7 +376,29 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     }
   }
 
+  // --- checkpoint ---------------------------------------------------------
+  // Saved BEFORE the final evaluation below: evaluation trains personal
+  // models off client RNG streams, and those draws belong to the resumed
+  // run, not the frozen state.
+  if (save_requested) {
+    Checkpoint ck;
+    ck.fingerprint = config_fingerprint(cfg);
+    ck.rounds_completed = stop_round;
+    ck.run_rng = rng.state();
+    ck.trojaned_model = result.trojaned_model;
+    if (fault_model) {
+      fl::StateWriter w;
+      fault_model->save_state(w);
+      ck.fault_state = w.take();
+    }
+    fl::StateWriter w;
+    algo->save_state(w);
+    ck.algo_state = w.take();
+    save_checkpoint_file(options.checkpoint_save_path, ck);
+  }
+
   // --- final client-level evaluation ---------------------------------------
+  result.final_global = algo->global_params();
   metrics::EvalConfig final_eval;
   final_eval.target_label = cfg.target_label;
   final_eval.max_clients = 0;

@@ -22,9 +22,19 @@ struct RoundRecord {
   double distance_to_x = 0.0;
   // Population metrics when eval_every hits this round.
   std::optional<metrics::PopulationMetrics> population;
+
+  // Fault accounting for the round (see fl::RoundTelemetry).
+  std::size_t n_accepted = 0;
+  std::size_t n_dropped = 0;
+  std::size_t n_rejected = 0;
+  std::size_t n_stragglers = 0;
+  bool aggregate_skipped = false;
 };
 
 struct ExperimentResult {
+  // The global model after the last executed round (checkpoint-halted
+  // runs included) — the bit-exactness witness for resume tests.
+  tensor::FlatVec final_global;
   // Final client-level evaluation over the full population.
   std::vector<metrics::ClientEval> final_evals;
   metrics::PopulationMetrics population;       // benign-client averages
@@ -49,6 +59,17 @@ struct RunOptions {
   // Retain full per-round updates in the result (Figs. 3, 6, 7 and the
   // detector analyses need them).
   bool keep_telemetry = false;
+
+  // Deterministic checkpoint/resume (sim/checkpoint.h). When
+  // checkpoint_save_path is set and checkpoint_round is in
+  // (0, config.rounds), the run halts after `checkpoint_round` rounds,
+  // saves its full state, and returns the partial result. When
+  // checkpoint_load_path is set, the run restores that state and
+  // continues to config.rounds; the combined run is bit-identical to an
+  // uninterrupted one.
+  std::string checkpoint_save_path;
+  std::size_t checkpoint_round = 0;
+  std::string checkpoint_load_path;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config,

@@ -70,6 +70,17 @@ class Rng {
   // Derive an independent child stream (for per-client generators).
   Rng fork();
 
+  // Complete generator state, exposed so checkpoints can restore the
+  // stream bit-exactly (the Box-Muller cache is part of the state: losing
+  // it would desynchronize every subsequent normal() draw).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;
