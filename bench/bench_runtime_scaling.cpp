@@ -1,0 +1,165 @@
+// Runtime scaling — the parallel round loop's speedup curve.
+//
+// Sweeps the thread count over {1, 2, 4, 8} on a CollaPois FEMNIST-like
+// workload (full-population cohorts so the round loop is dominated by
+// client training) and reports, per point:
+//   - round_loop_ms:   sum of per-round wall-clock over the campaign;
+//   - train_ms:        the client-training slice of it;
+//   - clients_per_sec: mean trained-clients-per-second throughput;
+//   - speedup:         T=1 round_loop_ms / this point's round_loop_ms.
+// The curve lands in BENCH_runtime_scaling.json (written to the working
+// directory) — the first entry of the perf trajectory.
+//
+// Determinism is asserted, not assumed: every point's final global model
+// must be element-exact equal to the T=1 baseline's (the ordered
+// reduction guarantee, DESIGN.md §7); the bench aborts loudly otherwise.
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <thread>
+
+#include "bench_common.h"
+#include "runtime/thread_pool.h"
+
+namespace {
+
+using namespace collapois;
+
+const std::vector<std::size_t>& thread_counts() {
+  static const std::vector<std::size_t> t = {1, 2, 4, 8};
+  return t;
+}
+
+sim::ExperimentConfig workload() {
+  sim::ExperimentConfig cfg = bench::base_config(sim::DatasetKind::femnist_like);
+  cfg.attack = sim::AttackKind::collapois;
+  cfg.compromised_fraction = bench::paper_fraction("1%");
+  // Scaling-bench shape: a modest population at full participation so
+  // every round trains a full cohort (the dispatch the pool parallelizes)
+  // rather than the q*N ~ 5 clients of the figure benches.
+  cfg.n_clients = 24 * bench::scale();
+  cfg.rounds = 12 * bench::scale();
+  cfg.sample_prob = 1.0;
+  cfg.attack_start_round = 4;
+  return cfg;
+}
+
+struct Point {
+  std::size_t threads = 0;
+  double round_loop_ms = 0.0;
+  double train_ms = 0.0;
+  double clients_per_sec = 0.0;
+  double speedup = 1.0;
+  bool bit_identical_to_t1 = true;
+};
+
+std::map<std::size_t, Point>& points() {
+  static std::map<std::size_t, Point> p;
+  return p;
+}
+
+tensor::FlatVec& baseline_global() {
+  static tensor::FlatVec g;
+  return g;
+}
+
+void run_point(benchmark::State& state, std::size_t threads) {
+  sim::ExperimentConfig cfg = workload();
+  cfg.threads = threads;
+  for (auto _ : state) {
+    const sim::ExperimentResult r = sim::run_experiment(cfg);
+    Point p;
+    p.threads = threads;
+    double cps_sum = 0.0;
+    for (const auto& rec : r.rounds) {
+      p.round_loop_ms += rec.wall_ms;
+      p.train_ms += rec.train_ms;
+      cps_sum += rec.clients_per_sec;
+    }
+    p.clients_per_sec = r.rounds.empty()
+                            ? 0.0
+                            : cps_sum / static_cast<double>(r.rounds.size());
+    if (threads == 1) {
+      baseline_global() = r.final_global;
+    } else if (!baseline_global().empty()) {
+      p.bit_identical_to_t1 = r.final_global == baseline_global();
+    }
+    points()[threads] = p;
+    state.counters["round_loop_ms"] = p.round_loop_ms;
+    state.counters["clients_per_sec"] = p.clients_per_sec;
+    bench::report_counters(state, r);
+  }
+}
+
+void register_all() {
+  for (std::size_t t : thread_counts()) {
+    const std::string name =
+        "runtime_scaling/threads:" + std::to_string(t);
+    benchmark::RegisterBenchmark(
+        name.c_str(), [t](benchmark::State& s) { run_point(s, t); })
+        ->Iterations(1)
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+void finalize() {
+  auto& pts = points();
+  if (pts.empty()) return;
+  const auto t1 = pts.find(1);
+  const double base = t1 != pts.end() ? t1->second.round_loop_ms : 0.0;
+  bool deterministic = true;
+  for (auto& [t, p] : pts) {
+    if (base > 0.0 && p.round_loop_ms > 0.0) p.speedup = base / p.round_loop_ms;
+    deterministic = deterministic && p.bit_identical_to_t1;
+  }
+
+  std::cout << "== Runtime scaling — parallel round loop, CollaPois FEMNIST"
+               "-like, full participation ==\n";
+  std::cout << std::right << std::setw(9) << "threads" << std::setw(16)
+            << "round_loop_ms" << std::setw(12) << "train_ms" << std::setw(16)
+            << "clients_per_s" << std::setw(10) << "speedup" << "\n";
+  for (const auto& [t, p] : pts) {
+    std::cout << std::right << std::setw(9) << t << std::fixed
+              << std::setprecision(1) << std::setw(16) << p.round_loop_ms
+              << std::setw(12) << p.train_ms << std::setw(16)
+              << p.clients_per_sec << std::setprecision(2) << std::setw(10)
+              << p.speedup << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "hardware_concurrency=" << std::thread::hardware_concurrency()
+            << "  deterministic_across_thread_counts="
+            << (deterministic ? "yes" : "NO — ORDERED REDUCTION BROKEN")
+            << "\n";
+
+  std::ofstream out("BENCH_runtime_scaling.json");
+  out << "{\"bench\": \"runtime_scaling\",\n"
+      << " \"workload\": \"femnist/collapois q=1.0 clients="
+      << workload().n_clients << " rounds=" << workload().rounds << "\",\n"
+      << " \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n \"deterministic_across_thread_counts\": "
+      << (deterministic ? "true" : "false") << ",\n \"points\": [";
+  bool first = true;
+  for (const auto& [t, p] : pts) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"threads\": " << t
+        << ", \"round_loop_ms\": " << p.round_loop_ms
+        << ", \"train_ms\": " << p.train_ms
+        << ", \"clients_per_sec\": " << p.clients_per_sec
+        << ", \"speedup\": " << p.speedup << "}";
+  }
+  out << "\n]}\n";
+  if (!deterministic) std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  finalize();
+  benchmark::Shutdown();
+  return 0;
+}

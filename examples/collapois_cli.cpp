@@ -19,6 +19,9 @@
 //   --q F              client sampling probability [0.05]
 //   --strike N         attack start round [20]
 //   --seed N           RNG seed [42]
+//   --threads N        runtime worker threads; 0 = auto (clamped
+//                      hardware_concurrency), 1 = sequential [0].
+//                      Results are bit-identical for any value.
 //   --topk             also print top-1/25/50% infected-client metrics
 //   --clusters         print the risk-cluster table (Eq. 8 / Eq. 9)
 //   --csv              emit population metrics as CSV
@@ -92,6 +95,8 @@ int main(int argc, char** argv) {
         cfg.attack_start_round = std::stoul(value());
       } else if (flag == "--seed") {
         cfg.seed = std::stoull(value());
+      } else if (flag == "--threads") {
+        cfg.threads = std::stoul(value());
       } else if (flag == "--dropout") {
         cfg.faults.dropout_prob = std::stod(value());
       } else if (flag == "--straggler") {

@@ -22,6 +22,12 @@ class FlAlgorithm {
   virtual tensor::FlatVec global_params() const = 0;
 
   // The parameters client `client_index` serves predictions with.
+  // Concurrency contract: calls for DISTINCT indices may run in parallel
+  // (the evaluation sweep in metrics/client_metrics.cpp does exactly
+  // that); implementations may mutate only the addressed client's own
+  // state and must read shared state (the global model) without writing
+  // it. PFL personalization trains off the addressed client's private
+  // RNG stream, so per-client results are unaffected by scheduling.
   virtual tensor::FlatVec client_eval_params(std::size_t client_index) = 0;
 
   virtual std::size_t num_clients() const = 0;

@@ -9,6 +9,17 @@
 // Attack clients (attacks/, core/) override these to inject malicious
 // behaviour; is_compromised() lets the telemetry and metrics layers
 // separate the populations — the simulator's server never reads it.
+//
+// Concurrency contract (runtime/thread_pool.h): the round loop calls
+// compute_update() on DISTINCT clients concurrently, and the evaluation
+// sweep does the same with eval_params(). Implementations may therefore
+// mutate only state owned by this client instance (its scratch model,
+// its RNG stream, its drift variables); anything shared across clients —
+// the broadcast ctx.global span, the training Dataset, a trigger, the
+// shared Trojaned model X — must be treated as read-only for the duration
+// of the call. State shared intentionally (the FaultModel's stale-model
+// cache) synchronizes internally. No client is ever called concurrently
+// with itself.
 #pragma once
 
 #include <memory>
@@ -66,6 +77,9 @@ class BenignClient : public Client {
   void load_state(StateReader& r) override;
 
  protected:
+  // Per-instance mutable state (scratch model, RNG stream) is safe to
+  // touch from compute_update()/eval_params() under the concurrency
+  // contract above; the dataset is shared and stays const.
   const data::Dataset& train_data() const { return *train_; }
   nn::Model& scratch_model() { return model_; }
   const nn::SgdConfig& sgd_config() const { return sgd_; }

@@ -88,6 +88,7 @@ void FaultModel::observe_global(std::size_t round,
       config_.pinned.empty()) {
     return;  // nothing will ever read the history
   }
+  const std::lock_guard<std::mutex> lock(mu_);
   if (history_.count(round) != 0) return;
   history_.emplace(round, tensor::FlatVec(global.begin(), global.end()));
   // Keep straggler_staleness + 1 rounds: enough for the deepest lookback.
@@ -98,6 +99,10 @@ void FaultModel::observe_global(std::size_t round,
 
 const tensor::FlatVec& FaultModel::stale_global(
     std::size_t round, std::size_t* actual_staleness) const {
+  // The returned reference outlives the lock; that is safe because the
+  // entry cannot be pruned until the next round's first observe_global(),
+  // which the round barrier orders after this reader (see faults.h).
+  const std::lock_guard<std::mutex> lock(mu_);
   if (history_.empty()) {
     throw std::logic_error(
         "FaultModel::stale_global: no observed history (observe_global must "
@@ -117,6 +122,7 @@ const tensor::FlatVec& FaultModel::stale_global(
 }
 
 void FaultModel::save_state(StateWriter& w) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   w.write_size(history_.size());
   for (const auto& [round, global] : history_) {
     w.write_size(round);
@@ -125,6 +131,7 @@ void FaultModel::save_state(StateWriter& w) const {
 }
 
 void FaultModel::load_state(StateReader& r) {
+  const std::lock_guard<std::mutex> lock(mu_);
   history_.clear();
   const std::size_t n = r.read_size();
   for (std::size_t i = 0; i < n; ++i) {

@@ -25,6 +25,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "fl/client.h"
 #include "fl/state.h"
@@ -66,6 +67,16 @@ struct FaultConfig {
 // and keeps the bounded history of broadcast global models that
 // stragglers compute against. One FaultModel is shared by every
 // FaultyClient wrapper of a federation.
+//
+// Thread safety (the round loop dispatches clients in parallel,
+// runtime/thread_pool.h): decide() is a pure function; the stale-model
+// cache is guarded by a mutex. Within a round every wrapper calls
+// observe_global() with the SAME (round, global) before reading, and
+// insertion is first-caller-wins, so cache content — and therefore every
+// result — is independent of thread scheduling. References returned by
+// stale_global() stay valid for the whole round: pruning only happens on
+// the first observe_global() of a later round, which the round barrier
+// orders after every reader.
 class FaultModel {
  public:
   explicit FaultModel(FaultConfig config);
@@ -92,6 +103,9 @@ class FaultModel {
 
  private:
   FaultConfig config_;
+  // Guards history_ against concurrent per-client dispatch (mutable so
+  // the const read paths can lock).
+  mutable std::mutex mu_;
   std::map<std::size_t, tensor::FlatVec> history_;  // round -> global
 };
 

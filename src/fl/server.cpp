@@ -1,7 +1,10 @@
 #include "fl/server.h"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "runtime/parallel.h"
 
 namespace collapois::fl {
 
@@ -41,6 +44,12 @@ bool all_finite(std::span<const float> v) {
   return true;
 }
 
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 const char* reject_reason_name(RejectReason reason) {
@@ -70,28 +79,52 @@ Server::Server(tensor::FlatVec initial_params, std::unique_ptr<Aggregator> agg,
 
 RoundTelemetry Server::run_round(const std::vector<Client*>& clients) {
   if (clients.empty()) throw std::invalid_argument("run_round: no clients");
+  const auto round_start = std::chrono::steady_clock::now();
 
   RoundTelemetry t;
   t.round = round_;
 
+  // Sampling consumes exactly one Bernoulli draw per client, in client
+  // order, regardless of thread count — the sampling stream is part of
+  // the checkpointable state and must not depend on the pool. The null
+  // check is folded into the same pass and applied only to clients that
+  // were actually sampled (no separate O(population) validation pre-pass
+  // per round; ServerAlgorithm already rejects nulls at construction).
   std::vector<Client*> sampled;
   for (Client* c : clients) {
-    if (c == nullptr) throw std::invalid_argument("run_round: null client");
-    if (rng_.bernoulli(config_.sample_prob)) sampled.push_back(c);
+    if (rng_.bernoulli(config_.sample_prob)) {
+      if (c == nullptr) throw std::invalid_argument("run_round: null client");
+      sampled.push_back(c);
+    }
   }
   if (sampled.empty()) {
     // Guarantee progress: sample one client uniformly.
-    sampled.push_back(
-        clients[static_cast<std::size_t>(rng_.uniform_int(clients.size()))]);
+    Client* c =
+        clients[static_cast<std::size_t>(rng_.uniform_int(clients.size()))];
+    if (c == nullptr) throw std::invalid_argument("run_round: null client");
+    sampled.push_back(c);
   }
 
+  // Dispatch: each sampled client's local training is an independent task
+  // (per-client RNG streams and scratch models). Results land in
+  // `incoming` by sampling index, so the validation/quarantine/reduction
+  // loop below sees the same updates in the same order for any pool size.
   RoundContext ctx{round_, params_};
-  for (Client* c : sampled) {
-    ClientUpdate u = c->compute_update(ctx);
+  const auto train_start = std::chrono::steady_clock::now();
+  std::vector<ClientUpdate> incoming = runtime::parallel_map(
+      config_.pool, sampled.size(),
+      [&](std::size_t i) { return sampled[i]->compute_update(ctx); });
+  t.train_ms = ms_since(train_start);
+
+  std::size_t n_trained = 0;
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    Client* c = sampled[i];
+    ClientUpdate u = std::move(incoming[i]);
     if (u.status == UpdateStatus::dropped) {
       t.dropped_ids.push_back(c->id());
       continue;
     }
+    ++n_trained;
     RejectReason reason = RejectReason::non_finite;
     if (!validate_update(u, params_.size(), config_.update_norm_ceiling,
                          &reason)) {
@@ -110,12 +143,17 @@ RoundTelemetry Server::run_round(const std::vector<Client*>& clients) {
     t.compromised.push_back(c->is_compromised());
     t.updates.push_back(std::move(u));
   }
+  if (t.train_ms > 0.0) {
+    t.clients_per_sec =
+        static_cast<double>(n_trained) / (t.train_ms / 1000.0);
+  }
 
   if (t.updates.empty()) {
     // Whole cohort failed: skip the round, leave the model untouched.
     t.aggregate_skipped = true;
     t.aggregated = tensor::zeros(params_.size());
     ++round_;
+    t.wall_ms = ms_since(round_start);
     return t;
   }
 
@@ -126,11 +164,13 @@ RoundTelemetry Server::run_round(const std::vector<Client*>& clients) {
     t.aggregate_skipped = true;
     t.aggregated = tensor::zeros(params_.size());
     ++round_;
+    t.wall_ms = ms_since(round_start);
     return t;
   }
   tensor::axpy_inplace(params_, -config_.learning_rate, t.aggregated);
   agg_->post_update(params_);
   ++round_;
+  t.wall_ms = ms_since(round_start);
   return t;
 }
 

@@ -9,6 +9,7 @@
 
 #include "fl/aggregator.h"
 #include "fl/client.h"
+#include "runtime/thread_pool.h"
 #include "stats/rng.h"
 
 namespace collapois::fl {
@@ -21,6 +22,12 @@ struct ServerConfig {
   // Quarantine any update whose L2 norm exceeds this ceiling (0 disables;
   // non-finite and wrong-dimension updates are always quarantined).
   double update_norm_ceiling = 0.0;
+  // Worker pool for the client-training dispatch (not owned; nullptr runs
+  // the cohort sequentially on the calling thread). Results are
+  // bit-identical for any pool size: sampling draws stay sequential and
+  // updates are reduced in sampling (= client-id) order — see DESIGN.md
+  // §7 for the determinism argument.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 // Why an update was quarantined instead of aggregated.
@@ -55,6 +62,17 @@ struct RoundTelemetry {
   // True when the whole cohort failed and the global model was left
   // untouched this round.
   bool aggregate_skipped = false;
+
+  // Wall-clock of the whole round and of the client-training dispatch
+  // alone (the part the thread pool parallelizes), in milliseconds.
+  // Timing is observability, not state: it is not checkpointed and never
+  // feeds back into the protocol.
+  double wall_ms = 0.0;
+  double train_ms = 0.0;
+  // Clients that computed an update this round (accepted + quarantined;
+  // dropouts never compute) divided by train_ms — the throughput number
+  // bench_runtime_scaling sweeps.
+  double clients_per_sec = 0.0;
 };
 
 class Server {
@@ -64,11 +82,15 @@ class Server {
 
   // Run one round over the client population. Samples each client
   // independently with probability q (at least one client is always
-  // sampled). Every incoming update is validated (dimension, finiteness,
-  // optional norm ceiling); failures are quarantined into the telemetry,
-  // never thrown — one bad client cannot kill a multi-hour run. When the
-  // entire cohort fails the round is skipped with telemetry. Returns the
-  // round's telemetry.
+  // sampled). The sampled cohort's local training is dispatched on
+  // config.pool (embarrassingly parallel: clients own their RNG streams
+  // and scratch models) and the updates are collected in sampling order,
+  // so the aggregate — and every checkpoint derived from it — is
+  // bit-identical for any thread count. Every incoming update is
+  // validated (dimension, finiteness, optional norm ceiling); failures
+  // are quarantined into the telemetry, never thrown — one bad client
+  // cannot kill a multi-hour run. When the entire cohort fails the round
+  // is skipped with telemetry. Returns the round's telemetry.
   RoundTelemetry run_round(const std::vector<Client*>& clients);
 
   const tensor::FlatVec& global_params() const { return params_; }

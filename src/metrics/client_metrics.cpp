@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/eval.h"
+#include "runtime/parallel.h"
 #include "trojan/poison.h"
 
 namespace collapois::metrics {
@@ -31,24 +32,28 @@ std::vector<ClientEval> evaluate_clients(fl::FlAlgorithm& algo,
     }
   }
 
-  nn::Model model = architecture;
-  std::vector<ClientEval> out;
-  out.reserve(targets.size());
-  for (std::size_t i : targets) {
+  // The sweep dominates post-training time on large populations, so it
+  // runs on the pool: one task per client, each with its own inference
+  // model copy, results written by index (order-independent, so the
+  // output matches the sequential sweep exactly).
+  std::vector<ClientEval> out(targets.size());
+  runtime::parallel_for(config.pool, targets.size(), [&](std::size_t k) {
+    const std::size_t i = targets[k];
     ClientEval e;
     e.client_index = i;
     e.compromised = compromised[i];
     const data::Dataset& test = fed.clients[i].test;
     if (!test.empty()) {
       e.has_test_data = true;
+      nn::Model model = architecture;
       model.set_parameters(algo.client_eval_params(i));
       e.benign_ac = nn::accuracy(model, test);
       const data::Dataset trojaned =
           trojan::apply_trigger_all(test, eval_trigger, config.target_label);
       e.attack_sr = nn::accuracy(model, trojaned);
     }
-    out.push_back(e);
-  }
+    out[k] = e;
+  });
   return out;
 }
 

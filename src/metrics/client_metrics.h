@@ -15,6 +15,7 @@
 #include "data/partition.h"
 #include "fl/algorithm.h"
 #include "nn/model.h"
+#include "runtime/thread_pool.h"
 #include "trojan/trigger.h"
 
 namespace collapois::metrics {
@@ -33,6 +34,12 @@ struct EvalConfig {
   // Evaluate only this many clients (uniformly strided over the
   // population) to bound cost in per-round tracking; 0 = all clients.
   std::size_t max_clients = 0;
+  // Worker pool for the per-client sweep (not owned; nullptr evaluates
+  // sequentially). Each client's evaluation is independent — its own
+  // serving model, its own test split, its own personalization RNG — and
+  // results are collected by client index, so the output is identical
+  // for any pool size.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 // Evaluate clients of `algo` against `fed`. `eval_trigger` is the trigger

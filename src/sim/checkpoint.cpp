@@ -48,7 +48,10 @@ std::uint64_t config_fingerprint(const ExperimentConfig& c) {
   h = mix(h, c.faults.straggler_staleness);
   // cfg.rounds is deliberately excluded: resuming with a larger round
   // budget than the checkpointed run is a supported way to extend an
-  // experiment.
+  // experiment. cfg.threads is excluded too: the parallel runtime is
+  // bit-deterministic for any thread count (ordered reduction, see
+  // DESIGN.md §7), so a checkpoint taken at one thread count may resume
+  // at another.
   return h;
 }
 

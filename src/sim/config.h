@@ -98,6 +98,14 @@ struct ExperimentConfig {
   std::size_t eval_every = 0;        // 0 = final round only
   std::size_t eval_max_clients = 0;  // 0 = all (final eval is always all)
 
+  // Worker threads for the parallel runtime (round-loop client dispatch
+  // and the evaluation sweep; src/runtime/). 0 = auto (clamped
+  // hardware_concurrency), 1 = sequential. Results are bit-identical for
+  // any value — the thread count is deliberately EXCLUDED from the
+  // checkpoint fingerprint, so a run checkpointed at one thread count can
+  // resume at another.
+  std::size_t threads = 0;
+
   std::uint64_t seed = 42;
 };
 

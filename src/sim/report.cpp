@@ -77,7 +77,9 @@ void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
        << ", \"rejected\": " << r.n_rejected
        << ", \"stragglers\": " << r.n_stragglers
        << ", \"skipped\": " << (r.aggregate_skipped ? "true" : "false")
-       << ", \"dist_to_x\": " << r.distance_to_x;
+       << ", \"dist_to_x\": " << r.distance_to_x
+       << ", \"wall_ms\": " << r.wall_ms
+       << ", \"clients_per_sec\": " << r.clients_per_sec;
     if (r.population.has_value()) {
       os << ", \"benign_ac\": " << r.population->benign_ac
          << ", \"attack_sr\": " << r.population->attack_sr;

@@ -35,9 +35,11 @@ void print_rounds(std::ostream& os, const std::string& title,
 // Comma-separated emission of a series for plotting.
 void write_series_csv(std::ostream& os, const std::vector<SeriesRow>& rows);
 
-// JSON report of a run's per-round records, fault counters included:
+// JSON report of a run's per-round records, fault counters and runtime
+// telemetry included:
 // {"tag": ..., "rounds": [{"round": 0, "accepted": ..., "dropped": ...,
 // "rejected": ..., "stragglers": ..., "skipped": ..., "dist_to_x": ...,
+// "wall_ms": ..., "clients_per_sec": ...,
 // "benign_ac": ..., "attack_sr": ...}, ...]}. benign_ac/attack_sr appear
 // only on rounds where the periodic evaluation ran.
 void write_rounds_json(std::ostream& os, const ExperimentConfig& config,

@@ -7,6 +7,7 @@
 #include "data/partition.h"
 #include "defense/ditto.h"
 #include "fl/faults.h"
+#include "runtime/thread_pool.h"
 #include "sim/checkpoint.h"
 #include "data/synthetic_image.h"
 #include "data/synthetic_text.h"
@@ -100,6 +101,15 @@ bool attack_needs_x(AttackKind kind) {
 ExperimentResult run_experiment(const ExperimentConfig& cfg,
                                 const RunOptions& options) {
   if (cfg.rounds == 0) throw std::invalid_argument("run_experiment: 0 rounds");
+
+  // Parallel runtime: one pool for the whole experiment (round-loop
+  // client dispatch + evaluation sweeps). Created before the algorithm so
+  // it outlives every borrower; a resolved count of 1 means no pool at
+  // all — the inline path is the sequential baseline.
+  const std::size_t n_threads = runtime::resolve_thread_count(cfg.threads);
+  std::unique_ptr<runtime::ThreadPool> pool;
+  if (n_threads > 1) pool = std::make_unique<runtime::ThreadPool>(n_threads);
+
   stats::Rng rng(cfg.seed);
   Workbench wb = build_workbench(cfg, rng);
   const std::size_t n = cfg.n_clients;
@@ -274,6 +284,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     scfg.learning_rate = cfg.server_lr;
     scfg.sample_prob = cfg.sample_prob;
     scfg.update_norm_ceiling = cfg.update_norm_ceiling;
+    scfg.pool = pool.get();
     algo = std::make_unique<fl::ServerAlgorithm>(
         std::string(algorithm_name(cfg.algorithm)),
         wb.architecture.get_parameters(), std::move(agg), scfg,
@@ -284,6 +295,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   metrics::EvalConfig periodic_eval;
   periodic_eval.target_label = cfg.target_label;
   periodic_eval.max_clients = cfg.eval_max_clients;
+  periodic_eval.pool = pool.get();
 
   auto arm_attackers = [&]() {
     if (!attack_needs_x(cfg.attack) || !result.trojaned_model.empty()) return;
@@ -358,6 +370,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     rec.n_rejected = telemetry.rejected_ids.size();
     rec.n_stragglers = telemetry.n_stragglers;
     rec.aggregate_skipped = telemetry.aggregate_skipped;
+    rec.wall_ms = telemetry.wall_ms;
+    rec.train_ms = telemetry.train_ms;
+    rec.clients_per_sec = telemetry.clients_per_sec;
     if (!result.trojaned_model.empty() &&
         cfg.algorithm != AlgorithmKind::metafed) {
       rec.distance_to_x = stats::l2_distance(algo->global_params(),
@@ -402,6 +417,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   metrics::EvalConfig final_eval;
   final_eval.target_label = cfg.target_label;
   final_eval.max_clients = 0;
+  final_eval.pool = pool.get();
   result.final_evals = metrics::evaluate_clients(
       *algo, wb.fed, *wb.eval_trigger, wb.architecture, compromised,
       final_eval);

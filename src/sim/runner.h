@@ -29,6 +29,14 @@ struct RoundRecord {
   std::size_t n_rejected = 0;
   std::size_t n_stragglers = 0;
   bool aggregate_skipped = false;
+
+  // Runtime telemetry (see fl::RoundTelemetry): round wall-clock, the
+  // client-training slice of it, and trained-clients-per-second
+  // throughput. Observability only — never part of determinism
+  // comparisons or checkpoints.
+  double wall_ms = 0.0;
+  double train_ms = 0.0;
+  double clients_per_sec = 0.0;
 };
 
 struct ExperimentResult {
