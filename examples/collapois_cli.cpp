@@ -5,37 +5,12 @@
 //   collapois_cli --dataset femnist --algorithm fedavg --attack collapois \
 //                 --defense dp --alpha 0.1 --fraction 0.05 --rounds 200
 //
-// Flags (defaults in brackets):
-//   --dataset femnist|sentiment        [femnist]
-//   --algorithm fedavg|feddc|metafed   [fedavg]
-//   --attack none|collapois|dpois|mrepl|dba [collapois]
-//   --defense none|dp|userdp|normbound|krum|multikrum|median|trimmedmean|
-//             rlr|signsgd|flare|crfl|ditto   [none]
-//   --alpha F          Dirichlet concentration [1.0]
-//   --clients N        federation size [100]
-//   --samples N        samples per client [80]
-//   --fraction F       compromised fraction [0.05]
-//   --rounds N         training rounds [200]
-//   --q F              client sampling probability [0.05]
-//   --strike N         attack start round [20]
-//   --seed N           RNG seed [42]
-//   --threads N        runtime worker threads; 0 = auto (clamped
-//                      hardware_concurrency), 1 = sequential [0].
-//                      Results are bit-identical for any value.
-//   --topk             also print top-1/25/50% infected-client metrics
-//   --clusters         print the risk-cluster table (Eq. 8 / Eq. 9)
-//   --csv              emit population metrics as CSV
-//
-// Fault injection and hardening (DESIGN.md §6):
-//   --dropout F        per-round client dropout probability [0]
-//   --straggler F      straggler probability (stale compute, damped) [0]
-//   --corrupt F        corrupted-update probability (NaN/dim/blow-up) [0]
-//   --norm-ceiling F   quarantine updates with L2 norm above F [0 = off]
-//   --json-rounds      emit per-round telemetry (fault accounting) as JSON
-//
-// Checkpoint/resume (bit-exact; sim/checkpoint.h):
-//   --checkpoint PATH --checkpoint-round N   halt after N rounds, save
-//   --resume PATH                            restore and run to --rounds
+// Every numeric flag is validated at the parse site: probabilities must
+// be finite and in [0, 1], rates/durations finite and non-negative,
+// counts plain unsigned decimals (a "-1" is rejected rather than
+// silently wrapped by std::stoul). A bad value prints the flag table and
+// exits 2. The same table lives in README.md.
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -47,10 +22,114 @@ namespace {
 
 using namespace collapois;
 
+constexpr const char* kUsage = R"(usage: collapois_cli [flags]
+
+experiment:
+  --dataset femnist|sentiment        dataset substitute            [femnist]
+  --algorithm fedavg|feddc|metafed   federated algorithm           [fedavg]
+  --attack none|collapois|dpois|mrepl|dba                          [collapois]
+  --defense none|dp|userdp|normbound|krum|multikrum|median|
+            trimmedmean|rlr|signsgd|flare|crfl|ditto               [none]
+  --alpha F          Dirichlet concentration, finite > 0           [1.0]
+  --clients N        federation size                               [100]
+  --samples N        samples per client                            [80]
+  --fraction F       compromised fraction, in [0, 1]               [0.05]
+  --rounds N         training rounds                               [200]
+  --q F              client sampling probability, in (0, 1]        [0.05]
+  --strike N         attack start round                            [20]
+  --seed N           RNG seed                                      [42]
+  --threads N        worker threads; 0 = auto, 1 = sequential      [0]
+                     (results are bit-identical for any value)
+
+fault injection and hardening (DESIGN.md paragraph 6):
+  --dropout F        per-round client dropout probability [0, 1]   [0]
+  --straggler F      straggler probability [0, 1]                  [0]
+  --corrupt F        corrupted-update probability [0, 1]           [0]
+  --norm-ceiling F   quarantine updates with L2 norm above F,
+                     finite >= 0; 0 disables                       [0]
+
+simulated transport (DESIGN.md paragraph 8; every --net-* flag
+implies --net):
+  --net                    enable the transport layer              [off]
+  --net-loss F             per-attempt message loss prob [0, 1]    [0]
+  --net-corrupt F          per-attempt corruption prob [0, 1]      [0]
+  --net-duplicate F        duplicate-delivery prob [0, 1]          [0]
+  --net-latency-min F      min delivery latency, virtual ms >= 0   [10]
+  --net-latency-max F      max delivery latency, virtual ms >= 0   [50]
+  --net-deadline F         round deadline, virtual ms >= 0;
+                           0 disables the deadline                 [0]
+  --net-retries N          re-send attempts per client per round   [3]
+  --net-backoff-base F     first re-send backoff, virtual ms >= 0  [20]
+  --net-backoff-cap F      backoff ceiling, virtual ms >= 0        [160]
+  --net-oversample F       over-provisioning factor, in [0, 16]:
+                           sample ceil((1+F)*k), aggregate first k [0]
+  --net-seed N             transport decision seed
+
+checkpoint/resume (bit-exact; sim/checkpoint.h):
+  --checkpoint PATH --checkpoint-round N   halt after N rounds, save
+  --resume PATH                            restore and run to --rounds
+
+output:
+  --topk           also print top-1/25/50% infected-client metrics
+  --clusters       print the risk-cluster table (Eq. 8 / Eq. 9)
+  --csv            emit population metrics as CSV
+  --json-rounds    emit per-round telemetry as JSON on stdout
+                   (includes the per-round transport block when --net)
+)";
+
 [[noreturn]] void usage(const std::string& error) {
-  std::cerr << "error: " << error << "\n"
-            << "see the header of examples/collapois_cli.cpp for flags\n";
+  std::cerr << "error: " << error << "\n\n" << kUsage;
   std::exit(2);
+}
+
+// std::stod accepts a numeric PREFIX ("0.5x" parses as 0.5); require the
+// whole token to be consumed so typos fail loudly.
+double parse_double(const std::string& flag, const std::string& raw) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(raw, &pos);
+    if (pos != raw.size()) throw std::invalid_argument("trailing garbage");
+    return v;
+  } catch (const std::exception&) {
+    usage(flag + ": '" + raw + "' is not a number");
+  }
+}
+
+double parse_prob(const std::string& flag, const std::string& raw) {
+  const double v = parse_double(flag, raw);
+  if (!std::isfinite(v) || v < 0.0 || v > 1.0) {
+    usage(flag + " must be a probability in [0, 1], got '" + raw + "'");
+  }
+  return v;
+}
+
+double parse_nonneg(const std::string& flag, const std::string& raw) {
+  const double v = parse_double(flag, raw);
+  if (!std::isfinite(v) || v < 0.0) {
+    usage(flag + " must be finite and non-negative, got '" + raw + "'");
+  }
+  return v;
+}
+
+double parse_pos(const std::string& flag, const std::string& raw) {
+  const double v = parse_double(flag, raw);
+  if (!std::isfinite(v) || v <= 0.0) {
+    usage(flag + " must be finite and positive, got '" + raw + "'");
+  }
+  return v;
+}
+
+// std::stoul silently wraps "-1" to 18446744073709551615; only plain
+// unsigned decimals pass.
+std::uint64_t parse_count(const std::string& flag, const std::string& raw) {
+  if (raw.empty() || raw.find_first_not_of("0123456789") != std::string::npos) {
+    usage(flag + " must be a non-negative integer, got '" + raw + "'");
+  }
+  try {
+    return std::stoull(raw);
+  } catch (const std::exception&) {
+    usage(flag + ": '" + raw + "' is out of range");
+  }
 }
 
 }  // namespace
@@ -80,35 +159,72 @@ int main(int argc, char** argv) {
       } else if (flag == "--defense") {
         cfg.defense = defense::parse_defense(value());
       } else if (flag == "--alpha") {
-        cfg.alpha = std::stod(value());
+        cfg.alpha = parse_pos(flag, value());
       } else if (flag == "--clients") {
-        cfg.n_clients = std::stoul(value());
+        cfg.n_clients = parse_count(flag, value());
       } else if (flag == "--samples") {
-        cfg.samples_per_client = std::stoul(value());
+        cfg.samples_per_client = parse_count(flag, value());
       } else if (flag == "--fraction") {
-        cfg.compromised_fraction = std::stod(value());
+        cfg.compromised_fraction = parse_prob(flag, value());
       } else if (flag == "--rounds") {
-        cfg.rounds = std::stoul(value());
+        cfg.rounds = parse_count(flag, value());
       } else if (flag == "--q") {
-        cfg.sample_prob = std::stod(value());
+        cfg.sample_prob = parse_prob(flag, value());
       } else if (flag == "--strike") {
-        cfg.attack_start_round = std::stoul(value());
+        cfg.attack_start_round = parse_count(flag, value());
       } else if (flag == "--seed") {
-        cfg.seed = std::stoull(value());
+        cfg.seed = parse_count(flag, value());
       } else if (flag == "--threads") {
-        cfg.threads = std::stoul(value());
+        cfg.threads = parse_count(flag, value());
       } else if (flag == "--dropout") {
-        cfg.faults.dropout_prob = std::stod(value());
+        cfg.faults.dropout_prob = parse_prob(flag, value());
       } else if (flag == "--straggler") {
-        cfg.faults.straggler_prob = std::stod(value());
+        cfg.faults.straggler_prob = parse_prob(flag, value());
       } else if (flag == "--corrupt") {
-        cfg.faults.corrupt_prob = std::stod(value());
+        cfg.faults.corrupt_prob = parse_prob(flag, value());
       } else if (flag == "--norm-ceiling") {
-        cfg.update_norm_ceiling = std::stod(value());
+        cfg.update_norm_ceiling = parse_nonneg(flag, value());
+      } else if (flag == "--net") {
+        cfg.net.enabled = true;
+      } else if (flag == "--net-loss") {
+        cfg.net.loss_prob = parse_prob(flag, value());
+        cfg.net.enabled = true;
+      } else if (flag == "--net-corrupt") {
+        cfg.net.corrupt_prob = parse_prob(flag, value());
+        cfg.net.enabled = true;
+      } else if (flag == "--net-duplicate") {
+        cfg.net.duplicate_prob = parse_prob(flag, value());
+        cfg.net.enabled = true;
+      } else if (flag == "--net-latency-min") {
+        cfg.net.latency_min_ms = parse_nonneg(flag, value());
+        cfg.net.enabled = true;
+      } else if (flag == "--net-latency-max") {
+        cfg.net.latency_max_ms = parse_nonneg(flag, value());
+        cfg.net.enabled = true;
+      } else if (flag == "--net-deadline") {
+        cfg.net.deadline_ms = parse_nonneg(flag, value());
+        cfg.net.enabled = true;
+      } else if (flag == "--net-retries") {
+        cfg.net.max_retries = parse_count(flag, value());
+        cfg.net.enabled = true;
+      } else if (flag == "--net-backoff-base") {
+        cfg.net.backoff_base_ms = parse_nonneg(flag, value());
+        cfg.net.enabled = true;
+      } else if (flag == "--net-backoff-cap") {
+        cfg.net.backoff_cap_ms = parse_nonneg(flag, value());
+        cfg.net.enabled = true;
+      } else if (flag == "--net-oversample") {
+        const double v = parse_nonneg(flag, value());
+        if (v > 16.0) usage(flag + " must be in [0, 16]");
+        cfg.net.over_sample = v;
+        cfg.net.enabled = true;
+      } else if (flag == "--net-seed") {
+        cfg.net.seed = parse_count(flag, value());
+        cfg.net.enabled = true;
       } else if (flag == "--checkpoint") {
         opts.checkpoint_save_path = value();
       } else if (flag == "--checkpoint-round") {
-        opts.checkpoint_round = std::stoul(value());
+        opts.checkpoint_round = parse_count(flag, value());
       } else if (flag == "--resume") {
         opts.checkpoint_load_path = value();
       } else if (flag == "--json-rounds") {
@@ -120,7 +236,7 @@ int main(int argc, char** argv) {
       } else if (flag == "--csv") {
         want_csv = true;
       } else if (flag == "--help" || flag == "-h") {
-        std::cout << "see the header of examples/collapois_cli.cpp\n";
+        std::cout << kUsage;
         return 0;
       } else {
         usage("unknown flag " + flag);
@@ -130,6 +246,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (cfg.n_clients == 0) usage("--clients must be at least 1");
+  if (cfg.rounds == 0) usage("--rounds must be at least 1");
+  if (cfg.sample_prob <= 0.0) usage("--q must be in (0, 1]");
+  if (cfg.net.enabled && cfg.net.latency_min_ms > cfg.net.latency_max_ms) {
+    usage("--net-latency-min must not exceed --net-latency-max");
+  }
   if (!opts.checkpoint_save_path.empty() && opts.checkpoint_round == 0) {
     usage("--checkpoint also needs --checkpoint-round");
   }

@@ -9,6 +9,7 @@
 
 #include "fl/aggregator.h"
 #include "fl/client.h"
+#include "net/network_model.h"
 #include "runtime/thread_pool.h"
 #include "stats/rng.h"
 
@@ -28,12 +29,33 @@ struct ServerConfig {
   // updates are reduced in sampling (= client-id) order — see DESIGN.md
   // §7 for the determinism argument.
   runtime::ThreadPool* pool = nullptr;
+  // Simulated transport between clients and server (not owned; nullptr or
+  // a disabled config bypasses it entirely — the pre-transport code path,
+  // element-exact). When enabled, computed updates cross a faulty network
+  // with retries, deadlines and over-provisioned sampling; see DESIGN.md
+  // §8 and net/network_model.h.
+  net::NetworkModel* net = nullptr;
 };
 
 // Why an update was quarantined instead of aggregated.
 enum class RejectReason { non_finite, dim_mismatch, norm_exceeded };
 
 const char* reject_reason_name(RejectReason reason);
+
+// Why a sampled client contributed nothing to the round. Every dropped
+// client is counted exactly ONCE under exactly one reason, whichever
+// layer dropped it:
+//  - compute:   the FaultModel dropped it before any update existed
+//               (fl/faults.h dropout — the client never reports);
+//  - transport: every send attempt was lost/corrupted in flight
+//               (retry budget exhausted);
+//  - deadline:  the update existed but reached the server after the
+//               round deadline (or its backoff schedule passed it);
+//  - excess:    it arrived intact and on time, but after the target
+//               cohort had already filled (over-provisioned sampling).
+enum class DropReason { compute, transport, deadline, excess };
+
+const char* drop_reason_name(DropReason reason);
 
 struct RoundTelemetry {
   std::size_t round = 0;
@@ -51,12 +73,21 @@ struct RoundTelemetry {
   // was skipped).
   tensor::FlatVec aggregated;
 
-  // Fault accounting (fl/faults.h). Sampled cohort size is
-  // sampled_ids.size() + dropped_ids.size() + rejected_ids.size().
+  // Fault accounting (fl/faults.h + the transport layer). The invariant
+  // cohort_size == sampled_ids.size() + dropped_ids.size() +
+  // rejected_ids.size() holds every round: each sampled client lands in
+  // exactly one bucket.
   std::vector<std::size_t> dropped_ids;
+  // Parallel to dropped_ids: which layer dropped the client.
+  std::vector<DropReason> drop_reasons;
   std::vector<std::size_t> rejected_ids;
   // Parallel to rejected_ids.
   std::vector<RejectReason> reject_reasons;
+  // Size of the sampled cohort, over-provisioned extras included.
+  std::size_t cohort_size = 0;
+  // Message-level transport counters and arrival-time quantiles for the
+  // round (all zero when the transport layer is disabled).
+  net::TransportStats transport;
   // Count of accepted updates that arrived stale (weight-damped).
   std::size_t n_stragglers = 0;
   // True when the whole cohort failed and the global model was left
@@ -91,6 +122,16 @@ class Server {
   // are quarantined into the telemetry, never thrown — one bad client
   // cannot kill a multi-hour run. When the entire cohort fails the round
   // is skipped with telemetry. Returns the round's telemetry.
+  //
+  // With config.net enabled, computed updates additionally cross the
+  // simulated transport: the cohort is over-provisioned by
+  // ceil((1 + over_sample) * k), each update is enveloped and sent with
+  // retry/backoff against the virtual-clock deadline, and the server
+  // keeps the first k intact in-deadline arrivals (arrival order decides
+  // WHO makes the cohort; accepted updates are then reduced in sampling
+  // order as before, so determinism across thread counts is untouched).
+  // Clients whose update never makes it are dropped with a transport /
+  // deadline / excess reason next to the compute dropouts.
   RoundTelemetry run_round(const std::vector<Client*>& clients);
 
   const tensor::FlatVec& global_params() const { return params_; }

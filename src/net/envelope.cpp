@@ -1,0 +1,60 @@
+#include "net/envelope.h"
+
+#include <exception>
+
+#include "fl/state.h"
+
+namespace collapois::net {
+
+std::uint64_t payload_checksum(std::span<const std::uint8_t> payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (std::uint8_t b : payload) {
+    h ^= b;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+Envelope encode_update(const fl::ClientUpdate& update, std::size_t round) {
+  fl::StateWriter w;
+  w.write_size(update.client_id);
+  w.write_double(update.weight);
+  w.write_u64(static_cast<std::uint64_t>(update.status));
+  w.write_size(update.staleness);
+  w.write_floats(update.delta);
+
+  Envelope env;
+  env.sender_id = update.client_id;
+  env.round = round;
+  env.payload = w.take();
+  env.checksum = payload_checksum(env.payload);
+  return env;
+}
+
+std::optional<fl::ClientUpdate> decode_update(const Envelope& envelope) {
+  if (payload_checksum(envelope.payload) != envelope.checksum) {
+    return std::nullopt;
+  }
+  // The checksum passed, so the payload is the bytes the sender wrote and
+  // must parse; a parse failure here would mean a codec bug, but the
+  // receiver still refuses the message rather than crashing the round.
+  try {
+    fl::StateReader r(envelope.payload);
+    fl::ClientUpdate u;
+    u.client_id = r.read_size();
+    u.weight = r.read_double();
+    const std::uint64_t status = r.read_u64();
+    if (status > static_cast<std::uint64_t>(fl::UpdateStatus::straggler)) {
+      return std::nullopt;
+    }
+    u.status = static_cast<fl::UpdateStatus>(status);
+    u.staleness = r.read_size();
+    u.delta = r.read_floats();
+    if (!r.exhausted()) return std::nullopt;
+    return u;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace collapois::net

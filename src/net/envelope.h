@@ -1,0 +1,45 @@
+// Message envelope for the simulated transport (src/net/).
+//
+// Client updates cross the simulated network as byte payloads, not as
+// in-process objects: the sender serializes its ClientUpdate through the
+// fl/state binary codec and stamps an FNV-1a checksum over the payload.
+// The receiver verifies the checksum BEFORE parsing, so a truncated or
+// bit-flipped message is detected at the network boundary — with a
+// telemetry counter — instead of surfacing as a mysterious NaN deep in
+// aggregation (or as a StateReader overrun). The codec is bit-exact
+// (raw IEEE-754 bits, little-endian), so a clean wire round-trip returns
+// the identical update, float for float — the property the zero-fault
+// transport configuration's element-exactness guarantee rests on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fl/update.h"
+
+namespace collapois::net {
+
+// 64-bit FNV-1a over the payload bytes. Not cryptographic — the threat
+// here is faults (truncation, bit flips), not forgery.
+std::uint64_t payload_checksum(std::span<const std::uint8_t> payload);
+
+struct Envelope {
+  // Routing metadata travels outside the checksummed payload, like a
+  // packet header.
+  std::size_t sender_id = 0;
+  std::size_t round = 0;
+  std::uint64_t checksum = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Serialize an update into a checksummed envelope.
+Envelope encode_update(const fl::ClientUpdate& update, std::size_t round);
+
+// Verify the checksum, then parse. Returns nullopt when the checksum does
+// not match the payload (damaged in flight) or the payload does not parse
+// cleanly (every byte must be consumed).
+std::optional<fl::ClientUpdate> decode_update(const Envelope& envelope);
+
+}  // namespace collapois::net

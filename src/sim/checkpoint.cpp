@@ -11,7 +11,8 @@ namespace collapois::sim {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x434f4c4c41504b54ULL;  // "COLLAPKT"
-constexpr std::uint64_t kVersion = 1;
+// v2: net_fingerprint + net_state (the simulated transport layer).
+constexpr std::uint64_t kVersion = 2;
 
 std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -51,7 +52,27 @@ std::uint64_t config_fingerprint(const ExperimentConfig& c) {
   // experiment. cfg.threads is excluded too: the parallel runtime is
   // bit-deterministic for any thread count (ordered reduction, see
   // DESIGN.md §7), so a checkpoint taken at one thread count may resume
-  // at another.
+  // at another. cfg.net is excluded as well — the transport config has
+  // its own fingerprint (net_fingerprint below) so a mismatch there can
+  // produce a transport-specific error.
+  return h;
+}
+
+std::uint64_t net_fingerprint(const net::NetConfig& c) {
+  std::uint64_t h = 0x452821e638d01377ULL;
+  h = mix(h, c.enabled ? 1 : 0);
+  if (!c.enabled) return h;  // stale fields of a switched-off transport
+  h = mix(h, c.seed);
+  h = mix_double(h, c.loss_prob);
+  h = mix_double(h, c.corrupt_prob);
+  h = mix_double(h, c.duplicate_prob);
+  h = mix_double(h, c.latency_min_ms);
+  h = mix_double(h, c.latency_max_ms);
+  h = mix_double(h, c.deadline_ms);
+  h = mix(h, c.max_retries);
+  h = mix_double(h, c.backoff_base_ms);
+  h = mix_double(h, c.backoff_cap_ms);
+  h = mix_double(h, c.over_sample);
   return h;
 }
 
@@ -60,12 +81,14 @@ void save_checkpoint_file(const std::string& path, const Checkpoint& ck) {
   w.write_u64(kMagic);
   w.write_u64(kVersion);
   w.write_u64(ck.fingerprint);
+  w.write_u64(ck.net_fingerprint);
   w.write_size(ck.rounds_completed);
   for (std::uint64_t s : ck.run_rng.s) w.write_u64(s);
   w.write_double(ck.run_rng.cached_normal);
   w.write_bool(ck.run_rng.has_cached_normal);
   w.write_floats(ck.trojaned_model);
   w.write_bytes(ck.fault_state);
+  w.write_bytes(ck.net_state);
   w.write_bytes(ck.algo_state);
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -97,12 +120,14 @@ Checkpoint load_checkpoint_file(const std::string& path) {
   }
   Checkpoint ck;
   ck.fingerprint = r.read_u64();
+  ck.net_fingerprint = r.read_u64();
   ck.rounds_completed = r.read_size();
   for (std::uint64_t& s : ck.run_rng.s) s = r.read_u64();
   ck.run_rng.cached_normal = r.read_double();
   ck.run_rng.has_cached_normal = r.read_bool();
   ck.trojaned_model = r.read_floats();
   ck.fault_state = r.read_bytes();
+  ck.net_state = r.read_bytes();
   ck.algo_state = r.read_bytes();
   if (!r.exhausted()) {
     throw std::runtime_error("load_checkpoint_file: trailing bytes in " +

@@ -28,12 +28,21 @@ namespace collapois::sim {
 
 struct Checkpoint {
   std::uint64_t fingerprint = 0;
+  // Fingerprint of the transport configuration (net_fingerprint below).
+  // Kept SEPARATE from `fingerprint` so a resume under a different
+  // network model fails with a transport-specific error message instead
+  // of a generic config mismatch.
+  std::uint64_t net_fingerprint = 0;
   std::size_t rounds_completed = 0;
   stats::Rng::State run_rng;
   // The attacker's shared Trojaned model (empty while unarmed).
   tensor::FlatVec trojaned_model;
   // Serialized FaultModel history (empty when no faults configured).
   std::vector<std::uint8_t> fault_state;
+  // Serialized NetworkModel state — cumulative transport totals and the
+  // (structurally empty) in-flight queue marker; empty when the transport
+  // is disabled.
+  std::vector<std::uint8_t> net_state;
   // Serialized FlAlgorithm state (fl/algorithm.h save_state).
   std::vector<std::uint8_t> algo_state;
 };
@@ -41,6 +50,12 @@ struct Checkpoint {
 // Hash of the config fields that define the identity of a run; resuming
 // with a config whose fingerprint differs is an error.
 std::uint64_t config_fingerprint(const ExperimentConfig& config);
+
+// Hash of the transport configuration. Every disabled config maps to the
+// same fingerprint (stale field values in a switched-off transport are
+// irrelevant); enabled configs hash every decision-relevant field,
+// including the seed.
+std::uint64_t net_fingerprint(const net::NetConfig& config);
 
 void save_checkpoint_file(const std::string& path, const Checkpoint& ck);
 Checkpoint load_checkpoint_file(const std::string& path);

@@ -14,6 +14,7 @@
 #include "core/trojan_trainer.h"
 #include "defense/registry.h"
 #include "fl/faults.h"
+#include "net/network_model.h"
 #include "nn/sgd.h"
 
 namespace collapois::sim {
@@ -90,6 +91,12 @@ struct ExperimentConfig {
   // corrupted updates under production conditions. Server-mediated
   // algorithms only (MetaFed has no update channel to fault).
   fl::FaultConfig faults;
+  // Simulated client->server transport (src/net/): message loss and
+  // corruption, retry/backoff, round deadlines, over-provisioned
+  // sampling. Disabled by default — when disabled the round loop is the
+  // exact pre-transport code path. Server-mediated algorithms only
+  // (MetaFed has no update channel to simulate a network on).
+  net::NetConfig net;
   // Server-side quarantine ceiling on the L2 norm of incoming updates
   // (0 disables; malformed updates are always quarantined).
   double update_norm_ceiling = 0.0;

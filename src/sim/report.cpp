@@ -80,6 +80,22 @@ void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
        << ", \"dist_to_x\": " << r.distance_to_x
        << ", \"wall_ms\": " << r.wall_ms
        << ", \"clients_per_sec\": " << r.clients_per_sec;
+    if (config.net.enabled) {
+      // Per-round transport block: message counters and the virtual
+      // arrival-time quantiles (see net::TransportStats).
+      os << ", \"net\": {\"cohort\": " << r.cohort_size
+         << ", \"sent\": " << r.transport.msgs_sent
+         << ", \"lost\": " << r.transport.lost
+         << ", \"corrupted\": " << r.transport.corrupted
+         << ", \"retried\": " << r.transport.retried
+         << ", \"duplicated\": " << r.transport.duplicated
+         << ", \"transport_dropped\": " << r.transport.transport_dropped
+         << ", \"deadline_dropped\": " << r.transport.deadline_dropped
+         << ", \"excess_dropped\": " << r.transport.excess_dropped
+         << ", \"arrival_p50_ms\": " << r.transport.arrival_p50_ms
+         << ", \"arrival_p90_ms\": " << r.transport.arrival_p90_ms
+         << ", \"arrival_max_ms\": " << r.transport.arrival_max_ms << "}";
+    }
     if (r.population.has_value()) {
       os << ", \"benign_ac\": " << r.population->benign_ac
          << ", \"attack_sr\": " << r.population->attack_sr;

@@ -253,6 +253,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     }
   }
 
+  // --- simulated transport ------------------------------------------------
+  std::unique_ptr<net::NetworkModel> net_model;
+  if (cfg.net.enabled) {
+    if (cfg.algorithm == AlgorithmKind::metafed) {
+      throw std::invalid_argument(
+          "run_experiment: the simulated transport models the server's "
+          "update channel and does not apply to MetaFed");
+    }
+    net_model = std::make_unique<net::NetworkModel>(cfg.net);
+  }
+
   // --- federated algorithm ----------------------------------------------
   std::unique_ptr<fl::FlAlgorithm> algo;
   if (cfg.algorithm == AlgorithmKind::metafed) {
@@ -285,6 +296,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     scfg.sample_prob = cfg.sample_prob;
     scfg.update_norm_ceiling = cfg.update_norm_ceiling;
     scfg.pool = pool.get();
+    scfg.net = net_model.get();
     algo = std::make_unique<fl::ServerAlgorithm>(
         std::string(algorithm_name(cfg.algorithm)),
         wb.architecture.get_parameters(), std::move(agg), scfg,
@@ -323,6 +335,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
           "run_experiment: checkpoint was saved under a different "
           "experiment configuration");
     }
+    if (ck.net_fingerprint != net_fingerprint(cfg.net)) {
+      throw std::invalid_argument(
+          "run_experiment: checkpoint was saved under a different network "
+          "model — the transport was toggled or a --net-* parameter "
+          "(loss/corruption/duplication/latency/deadline/retry/backoff/"
+          "over-sampling/seed) changed since the checkpoint; resume with "
+          "the exact transport configuration the checkpoint was taken "
+          "under");
+    }
     if (ck.rounds_completed > cfg.rounds) {
       throw std::invalid_argument(
           "run_experiment: checkpoint is past this config's round budget");
@@ -344,6 +365,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     if (fault_model) {
       fl::StateReader r(ck.fault_state);
       fault_model->load_state(r);
+    }
+    if (net_model) {
+      fl::StateReader r(ck.net_state);
+      net_model->load_state(r);
     }
     fl::StateReader r(ck.algo_state);
     algo->load_state(r);
@@ -370,6 +395,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     rec.n_rejected = telemetry.rejected_ids.size();
     rec.n_stragglers = telemetry.n_stragglers;
     rec.aggregate_skipped = telemetry.aggregate_skipped;
+    rec.cohort_size = telemetry.cohort_size;
+    rec.transport = telemetry.transport;
     rec.wall_ms = telemetry.wall_ms;
     rec.train_ms = telemetry.train_ms;
     rec.clients_per_sec = telemetry.clients_per_sec;
@@ -398,6 +425,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   if (save_requested) {
     Checkpoint ck;
     ck.fingerprint = config_fingerprint(cfg);
+    ck.net_fingerprint = net_fingerprint(cfg.net);
     ck.rounds_completed = stop_round;
     ck.run_rng = rng.state();
     ck.trojaned_model = result.trojaned_model;
@@ -405,6 +433,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
       fl::StateWriter w;
       fault_model->save_state(w);
       ck.fault_state = w.take();
+    }
+    if (net_model) {
+      fl::StateWriter w;
+      net_model->save_state(w);
+      ck.net_state = w.take();
     }
     fl::StateWriter w;
     algo->save_state(w);

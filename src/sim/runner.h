@@ -30,6 +30,13 @@ struct RoundRecord {
   std::size_t n_stragglers = 0;
   bool aggregate_skipped = false;
 
+  // Transport accounting (see net::TransportStats; all zero when the
+  // transport layer is disabled). cohort_size is the sampled cohort
+  // including over-provisioned extras; the invariant
+  // cohort_size == n_accepted + n_dropped + n_rejected holds every round.
+  std::size_t cohort_size = 0;
+  net::TransportStats transport;
+
   // Runtime telemetry (see fl::RoundTelemetry): round wall-clock, the
   // client-training slice of it, and trained-clients-per-second
   // throughput. Observability only — never part of determinism

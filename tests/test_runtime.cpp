@@ -59,6 +59,39 @@ TEST(RuntimePool, ExceptionPropagatesToSubmittingThread) {
   EXPECT_EQ(sum.load(), 45u);
 }
 
+TEST(RuntimePool, ReusableAfterMidFanOutThrow) {
+  // Regression for the round loop's failure mode: one client task throws
+  // while the rest of the fan-out is still executing. The pool must drain
+  // the batch without wedging its queue or poisoning worker state, so the
+  // NEXT round's dispatch on the same pool completes normally.
+  runtime::ThreadPool pool(4);
+  std::atomic<std::size_t> started{0};
+  EXPECT_THROW(
+      pool.parallel_for(256,
+                        [&](std::size_t i) {
+                          ++started;
+                          if (i == 13) {
+                            throw std::runtime_error("mid-fan-out failure");
+                          }
+                          // Busy work keeps other workers in flight when
+                          // the throw lands.
+                          volatile int spin = 0;
+                          while (spin < 2000) ++spin;
+                        }),
+      std::runtime_error);
+  EXPECT_GT(started.load(), 0u);
+  // Several follow-up "rounds" on the same pool, both dispatch flavors.
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<std::size_t> out = runtime::parallel_map(
+        &pool, 64, [](std::size_t i) { return i + 1; });
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i + 1);
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
 TEST(RuntimePool, ParallelMapPreservesIndexOrder) {
   runtime::ThreadPool pool(4);
   const std::vector<std::size_t> out =
@@ -118,6 +151,7 @@ void expect_element_exact(const sim::ExperimentResult& a,
     EXPECT_EQ(a.rounds[i].n_accepted, b.rounds[i].n_accepted);
     EXPECT_EQ(a.rounds[i].n_dropped, b.rounds[i].n_dropped);
     EXPECT_EQ(a.rounds[i].n_rejected, b.rounds[i].n_rejected);
+    EXPECT_EQ(a.rounds[i].cohort_size, b.rounds[i].cohort_size);
     EXPECT_EQ(a.rounds[i].distance_to_x, b.rounds[i].distance_to_x);
   }
 }
