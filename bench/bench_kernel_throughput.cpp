@@ -1,0 +1,242 @@
+// Kernel throughput — naive vs blocked GFLOP/s on the model zoo's shapes.
+//
+// Sweeps every GEMM and Conv2d shape that the simulator's two
+// architectures (LeNet-small on 16x16 FEMNIST-like images, the MLP head
+// on 32-d sentiment embeddings) actually execute, at the training batch
+// size, and times forward + backward of each under both kernel sets.
+// Reports GFLOP/s per (shape, set) and the blocked/naive speedup; the
+// table lands in BENCH_kernel_throughput.json.
+//
+// The bench is also a gate: if the blocked set is SLOWER than naive on
+// any zoo shape, it exits 1 — a blocked regression must never ship
+// silently as the default kernel set.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace collapois;
+using Clock = std::chrono::steady_clock;
+
+// One zoo shape: either a Conv2d layer (conv true, geometry in `conv`) or
+// a Dense layer expressed as its forward GEMM [m x k] * [n x k]^T.
+struct ZooShape {
+  std::string name;
+  bool is_conv = false;
+  kernels::Conv2dShape conv;
+  std::size_t m = 0, k = 0, n = 0;
+};
+
+// Shapes of nn/zoo.cpp at the default training batch size (16).
+const std::vector<ZooShape>& zoo_shapes() {
+  static const std::vector<ZooShape> s = {
+      {"lenet/conv1", true, {16, 1, 16, 16, 4, 3, 1, 16, 16}, 0, 0, 0},
+      {"lenet/conv2", true, {16, 4, 8, 8, 8, 3, 1, 8, 8}, 0, 0, 0},
+      {"lenet/fc1", false, {}, 16, 128, 32},
+      {"lenet/fc2", false, {}, 16, 32, 10},
+      {"mlp/fc1", false, {}, 16, 32, 32},
+      {"mlp/fc2", false, {}, 16, 32, 2},
+  };
+  return s;
+}
+
+// Forward + backward FLOPs of one shape (multiply+add counted as 2).
+double shape_flops(const ZooShape& z) {
+  if (z.is_conv) {
+    const auto& c = z.conv;
+    const double macs = static_cast<double>(c.batch) * c.cout * c.oh * c.ow *
+                        c.cin * c.k * c.k;
+    // forward (out) + backward (grad_weights and grad_input).
+    return 2.0 * macs * 3.0;
+  }
+  const double macs =
+      static_cast<double>(z.m) * z.k * z.n;
+  // forward GEMM + the two backward GEMMs (dW, dX).
+  return 2.0 * macs * 3.0;
+}
+
+struct Measurement {
+  double gflops = 0.0;
+  double us_per_pass = 0.0;
+};
+
+// (shape name, kernel set name) -> measurement.
+std::map<std::pair<std::string, std::string>, Measurement>& results() {
+  static std::map<std::pair<std::string, std::string>, Measurement> r;
+  return r;
+}
+
+// One forward + backward pass of the shape under the given kernel set.
+struct ShapeBuffers {
+  std::vector<float> in, weights, bias, out, go, gw, gb, gi;
+};
+
+ShapeBuffers make_buffers(const ZooShape& z, stats::Rng& rng) {
+  ShapeBuffers b;
+  auto fill = [&](std::vector<float>& v, std::size_t n) {
+    v.resize(n);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+  };
+  if (z.is_conv) {
+    const auto& c = z.conv;
+    fill(b.in, c.batch * c.cin * c.h * c.w);
+    fill(b.weights, c.cout * c.cin * c.k * c.k);
+    fill(b.bias, c.cout);
+    fill(b.go, c.batch * c.cout * c.oh * c.ow);
+    b.out.resize(b.go.size());
+    b.gw.assign(b.weights.size(), 0.0f);
+    b.gb.assign(b.bias.size(), 0.0f);
+    b.gi.assign(b.in.size(), 0.0f);
+  } else {
+    fill(b.in, z.m * z.k);          // activations [m x k]
+    fill(b.weights, z.n * z.k);     // dense W [n x k]
+    fill(b.bias, z.n);
+    fill(b.go, z.m * z.n);
+    b.out.resize(z.m * z.n);
+    b.gw.assign(b.weights.size(), 0.0f);
+    b.gb.assign(b.bias.size(), 0.0f);
+    b.gi.assign(z.m * z.k, 0.0f);
+  }
+  return b;
+}
+
+void one_pass(const ZooShape& z, const kernels::KernelOps& ops,
+              ShapeBuffers& b) {
+  if (z.is_conv) {
+    ops.conv2d_forward(z.conv, b.in.data(), b.weights.data(), b.bias.data(),
+                       b.out.data());
+    std::fill(b.gi.begin(), b.gi.end(), 0.0f);
+    ops.conv2d_backward(z.conv, b.in.data(), b.weights.data(), b.go.data(),
+                        b.gw.data(), b.gb.data(), b.gi.data());
+  } else {
+    std::fill(b.out.begin(), b.out.end(), 0.0f);
+    ops.gemm_a_bt_accum(b.in.data(), b.weights.data(), b.out.data(), z.m, z.k,
+                        z.n, b.bias.data(), nullptr);
+    ops.gemm_at_b_accum(b.go.data(), b.in.data(), b.gw.data(), z.m, z.n, z.k,
+                        b.gb.data());
+    ops.gemm(b.go.data(), b.weights.data(), b.gi.data(), z.m, z.n, z.k,
+             nullptr);
+  }
+}
+
+void run_shape(benchmark::State& state, const ZooShape& z,
+               kernels::KernelKind kind) {
+  const auto& ops = kernels::ops_for(kind);
+  stats::Rng rng(2024);
+  ShapeBuffers b = make_buffers(z, rng);
+  const double flops = shape_flops(z);
+  for (auto _ : state) {
+    // Warm the workspace (first call allocates scratch), then time enough
+    // passes for a stable reading.
+    one_pass(z, ops, b);
+    std::size_t reps = 8;
+    double elapsed_s = 0.0;
+    for (;;) {
+      const auto t0 = Clock::now();
+      for (std::size_t i = 0; i < reps; ++i) one_pass(z, ops, b);
+      elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+      if (elapsed_s >= 0.05 || reps >= (1u << 20)) break;
+      reps *= 4;
+    }
+    // Best of five windows: the min is robust against scheduler/steal
+    // noise that a single mean window folds straight into the ratio.
+    for (int w = 1; w < 5; ++w) {
+      const auto t0 = Clock::now();
+      for (std::size_t i = 0; i < reps; ++i) one_pass(z, ops, b);
+      const double s =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      elapsed_s = std::min(elapsed_s, s);
+    }
+    benchmark::DoNotOptimize(b.out.data());
+    benchmark::DoNotOptimize(b.gi.data());
+    Measurement m;
+    m.gflops = flops * static_cast<double>(reps) / elapsed_s / 1e9;
+    m.us_per_pass = elapsed_s / static_cast<double>(reps) * 1e6;
+    results()[{z.name, ops.name}] = m;
+    state.counters["GFLOP/s"] = m.gflops;
+  }
+}
+
+void register_all() {
+  for (const auto& z : zoo_shapes()) {
+    for (const auto kind :
+         {kernels::KernelKind::naive, kernels::KernelKind::blocked}) {
+      const std::string name = "kernel_throughput/" + z.name + "/" +
+                               kernels::kernel_kind_name(kind);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&z, kind](benchmark::State& s) { run_shape(s, z, kind); })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void finalize() {
+  const auto& res = results();
+  if (res.empty()) return;
+
+  std::cout << "== Kernel throughput — naive vs blocked, forward+backward, "
+               "zoo shapes ==\n";
+  std::cout << std::right << std::setw(14) << "shape" << std::setw(14)
+            << "naive GF/s" << std::setw(14) << "blocked GF/s" << std::setw(10)
+            << "speedup" << "\n";
+  bool blocked_never_slower = true;
+  std::string json = "";
+  for (const auto& z : zoo_shapes()) {
+    const auto naive = res.find({z.name, "naive"});
+    const auto blocked = res.find({z.name, "blocked"});
+    if (naive == res.end() || blocked == res.end()) continue;
+    const double speedup = blocked->second.gflops / naive->second.gflops;
+    // Shapes under the small-problem cutoff run the IDENTICAL naive code
+    // in both sets, so their ratio is pure timer noise around 1.0; gate
+    // with a 3% tolerance so only real regressions trip it.
+    if (speedup < 0.97) blocked_never_slower = false;
+    std::cout << std::right << std::setw(14) << z.name << std::fixed
+              << std::setprecision(2) << std::setw(14)
+              << naive->second.gflops << std::setw(14)
+              << blocked->second.gflops << std::setw(10) << speedup << "\n";
+    std::cout.unsetf(std::ios::fixed);
+    if (!json.empty()) json += ",";
+    json += "\n  {\"shape\": \"" + z.name + "\"";
+    json += ", \"flops_per_pass\": " + std::to_string(shape_flops(z));
+    json += ", \"naive_gflops\": " + std::to_string(naive->second.gflops);
+    json += ", \"blocked_gflops\": " + std::to_string(blocked->second.gflops);
+    json += ", \"blocked_us_per_pass\": " +
+            std::to_string(blocked->second.us_per_pass);
+    json += ", \"speedup\": " + std::to_string(speedup) + "}";
+  }
+  std::cout << "blocked_never_slower="
+            << (blocked_never_slower ? "yes" : "NO — BLOCKED REGRESSED")
+            << "\n";
+
+  std::ofstream out("BENCH_kernel_throughput.json");
+  out << "{\"bench\": \"kernel_throughput\",\n"
+      << " \"workload\": \"zoo shapes, batch=16, forward+backward\",\n"
+      << " \"blocked_never_slower\": "
+      << (blocked_never_slower ? "true" : "false") << ",\n \"points\": ["
+      << json << "\n]}\n";
+  if (!blocked_never_slower) std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  finalize();
+  benchmark::Shutdown();
+  return 0;
+}

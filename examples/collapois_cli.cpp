@@ -40,6 +40,9 @@ experiment:
   --seed N           RNG seed                                      [42]
   --threads N        worker threads; 0 = auto, 1 = sequential      [0]
                      (results are bit-identical for any value)
+  --kernels NAME     compute kernels: blocked | naive              [blocked]
+                     (blocked = im2col + packed GEMM; naive =
+                     reference loops — the two round differently)
 
 fault injection and hardening (DESIGN.md paragraph 6):
   --dropout F        per-round client dropout probability [0, 1]   [0]
@@ -176,6 +179,8 @@ int main(int argc, char** argv) {
         cfg.seed = parse_count(flag, value());
       } else if (flag == "--threads") {
         cfg.threads = parse_count(flag, value());
+      } else if (flag == "--kernels") {
+        cfg.kernels = kernels::parse_kernel_kind(value());
       } else if (flag == "--dropout") {
         cfg.faults.dropout_prob = parse_prob(flag, value());
       } else if (flag == "--straggler") {

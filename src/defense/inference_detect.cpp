@@ -118,11 +118,13 @@ std::vector<double> unit_activations(nn::Model& model,
     idx[0] = s;
     const auto batch = data::make_batch(clean, idx);
     tensor::Tensor h = batch.x;
-    for (std::size_t l = 0; l <= upto; ++l) h = model.layer(l).forward(h);
+    for (std::size_t l = 0; l <= upto; ++l) {
+      h = model.layer(l).forward(std::move(h));
+    }
     // Apply the following ReLU if present (post-activation units).
     if (upto + 1 < model.num_layers() &&
         dynamic_cast<nn::Relu*>(&model.layer(upto + 1)) != nullptr) {
-      h = model.layer(upto + 1).forward(h);
+      h = model.layer(upto + 1).forward(std::move(h));
     }
     for (std::size_t u = 0; u < act.size(); ++u) {
       act[u] += std::fabs(h[u]);

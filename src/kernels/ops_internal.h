@@ -1,0 +1,40 @@
+// Internal: the concrete op functions behind the two registered kernel
+// sets. Only registry.cpp and the implementation TUs include this.
+#pragma once
+
+#include "kernels/kernels.h"
+
+namespace collapois::kernels::detail {
+
+// naive.cpp — the original reference loops.
+void naive_gemm(const float* a, const float* b, float* c, std::size_t m,
+                std::size_t k, std::size_t n, const float* row_bias);
+void naive_gemm_a_bt_accum(const float* a, const float* b, float* c,
+                           std::size_t m, std::size_t k, std::size_t n,
+                           const float* col_bias, float* a_row_sums);
+void naive_gemm_at_b_accum(const float* a, const float* b, float* c,
+                           std::size_t k, std::size_t m, std::size_t n,
+                           float* a_col_sums);
+void naive_conv2d_forward(const Conv2dShape& s, const float* in,
+                          const float* weights, const float* bias, float* out);
+void naive_conv2d_backward(const Conv2dShape& s, const float* in,
+                           const float* weights, const float* go, float* gw,
+                           float* gb, float* gi);
+
+// blocked.cpp — packed/blocked GEMM and the im2col convolution.
+void blocked_gemm(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n, const float* row_bias);
+void blocked_gemm_a_bt_accum(const float* a, const float* b, float* c,
+                             std::size_t m, std::size_t k, std::size_t n,
+                             const float* col_bias, float* a_row_sums);
+void blocked_gemm_at_b_accum(const float* a, const float* b, float* c,
+                             std::size_t k, std::size_t m, std::size_t n,
+                             float* a_col_sums);
+void blocked_conv2d_forward(const Conv2dShape& s, const float* in,
+                            const float* weights, const float* bias,
+                            float* out);
+void blocked_conv2d_backward(const Conv2dShape& s, const float* in,
+                             const float* weights, const float* go, float* gw,
+                             float* gb, float* gi);
+
+}  // namespace collapois::kernels::detail

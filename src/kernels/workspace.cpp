@@ -1,0 +1,10 @@
+#include "kernels/workspace.h"
+
+namespace collapois::kernels {
+
+Workspace& Workspace::tls() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace collapois::kernels

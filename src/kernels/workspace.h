@@ -1,0 +1,53 @@
+// Per-thread reusable kernel scratch. Each worker thread (or the main
+// thread in sequential runs) owns one Workspace holding the im2col
+// buffer, packed GEMM panels, and the conv column-gradient buffer. Slots
+// grow monotonically and are never shrunk, so after the first batch of a
+// training run every kernel call is allocation-free.
+//
+// Buffer contents are scratch: kernels fully overwrite the region they
+// use before reading it, so reuse across layers, batches, and clients
+// cannot leak state between computations (property-tested).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace collapois::kernels {
+
+class Workspace {
+ public:
+  // Fixed slot ids; each is an independent monotonically-growing buffer.
+  enum Slot : std::size_t {
+    kIm2col = 0,    // [cin*k*k x batch*oh*ow] column matrix of the batch
+    kColGrad,       // same shape, gradient w.r.t. the column matrix
+    kPackedA,       // MR-row panels of the GEMM's left operand
+    kPackedB,       // NR-column panels of the GEMM's right operand
+    kConvIo,        // [cout x batch*oh*ow] conv GEMM-layout output/grad
+    kSlotCount,
+  };
+
+  // Scratch span of `n` floats for `slot`, growing the backing buffer if
+  // needed. Contents are unspecified — callers must write before reading.
+  std::span<float> floats(Slot slot, std::size_t n) {
+    auto& buf = buffers_[slot];
+    if (buf.size() < n) buf.resize(n);
+    return {buf.data(), n};
+  }
+
+  // Bytes currently retained across all slots (observability/tests).
+  std::size_t retained_bytes() const {
+    std::size_t total = 0;
+    for (const auto& b : buffers_) total += b.capacity() * sizeof(float);
+    return total;
+  }
+
+  // The calling thread's workspace.
+  static Workspace& tls();
+
+ private:
+  std::array<std::vector<float>, kSlotCount> buffers_;
+};
+
+}  // namespace collapois::kernels

@@ -4,8 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
-#include "tensor/linalg.h"
+#include "kernels/kernels.h"
 
 namespace collapois::nn {
 
@@ -35,44 +36,49 @@ void Dense::init(stats::Rng& rng) {
   for (std::size_t i = in_ * out_; i < params_.size(); ++i) params_[i] = 0.0f;
 }
 
-Tensor Dense::forward(const Tensor& input) {
+Tensor Dense::forward(Tensor input) {
   if (input.rank() != 2 || input.dim(1) != in_) {
     throw std::invalid_argument("Dense::forward: expected [B, in]");
   }
-  cached_input_ = input;
-  const std::size_t batch = input.dim(0);
+  cached_input_ = std::move(input);
+  const std::size_t batch = cached_input_.dim(0);
   Tensor out({batch, out_});
-  // y[b, o] = sum_i x[b, i] * W[o, i] + b[o]
-  tensor::gemm_a_bt_accum(input.data(), std::span<const float>(params_.data(), in_ * out_),
-                          out.data(), batch, in_, out_);
-  const float* bias = params_.data() + in_ * out_;
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t o = 0; o < out_; ++o) out.data()[b * out_ + o] += bias[o];
-  }
+  // y[b, o] = sum_i x[b, i] * W[o, i] + b[o]; bias rides the GEMM's store
+  // epilogue (out starts zeroed, so += is =).
+  kernels::ops().gemm_a_bt_accum(cached_input_.data().data(), params_.data(),
+                                 out.data().data(), batch, in_, out_,
+                                 params_.data() + in_ * out_, nullptr);
   return out;
 }
 
-Tensor Dense::backward(const Tensor& grad_output) {
+Tensor Dense::backward(Tensor grad_output) {
   if (grad_output.rank() != 2 || grad_output.dim(1) != out_) {
     throw std::invalid_argument("Dense::backward: expected [B, out]");
   }
   const std::size_t batch = grad_output.dim(0);
-  // dW[o, i] += sum_b g[b, o] * x[b, i]  (A^T B with A = g, B = x)
-  tensor::gemm_at_b_accum(grad_output.data(), cached_input_.data(),
-                          std::span<float>(grads_.data(), in_ * out_), batch,
-                          out_, in_);
-  float* gbias = grads_.data() + in_ * out_;
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t o = 0; o < out_; ++o) {
-      gbias[o] += grad_output.data()[b * out_ + o];
-    }
-  }
+  // dW[o, i] += sum_b g[b, o] * x[b, i] (A^T B with A = g, B = x); the
+  // bias gradient (column sums of g) is fused into the same pass.
+  kernels::ops().gemm_at_b_accum(grad_output.data().data(),
+                                 cached_input_.data().data(), grads_.data(),
+                                 batch, out_, in_,
+                                 grads_.data() + in_ * out_);
   // dX[b, i] = sum_o g[b, o] * W[o, i]
   Tensor grad_in({batch, in_});
-  tensor::gemm(grad_output.data(),
-               std::span<const float>(params_.data(), in_ * out_),
-               grad_in.data(), batch, out_, in_);
+  kernels::ops().gemm(grad_output.data().data(), params_.data(),
+                      grad_in.data().data(), batch, out_, in_, nullptr);
   return grad_in;
+}
+
+Tensor Dense::backward_params_only(Tensor grad_output) {
+  if (grad_output.rank() != 2 || grad_output.dim(1) != out_) {
+    throw std::invalid_argument("Dense::backward: expected [B, out]");
+  }
+  const std::size_t batch = grad_output.dim(0);
+  kernels::ops().gemm_at_b_accum(grad_output.data().data(),
+                                 cached_input_.data().data(), grads_.data(),
+                                 batch, out_, in_,
+                                 grads_.data() + in_ * out_);
+  return {};
 }
 
 std::unique_ptr<Layer> Dense::clone() const {
@@ -83,22 +89,23 @@ std::unique_ptr<Layer> Dense::clone() const {
 
 // ----------------------------------------------------------------- Relu
 
-Tensor Relu::forward(const Tensor& input) {
-  cached_input_ = input;
-  Tensor out = input;
-  for (auto& x : out.storage()) x = std::max(x, 0.0f);
-  return out;
+Tensor Relu::forward(Tensor input) {
+  const std::size_t n = input.size();
+  mask_size_ = n;
+  active_mask_.resize((n + 63) / 64);
+  // Clamp in place and pack the activity bits in one SIMD pass; every
+  // mask word is fully written, so no pre-zeroing of the mask either.
+  kernels::relu_forward_mask(input.data().data(), n, active_mask_.data());
+  return input;
 }
 
-Tensor Relu::backward(const Tensor& grad_output) {
-  if (grad_output.size() != cached_input_.size()) {
+Tensor Relu::backward(Tensor grad_output) {
+  if (grad_output.size() != mask_size_) {
     throw std::invalid_argument("Relu::backward: size mismatch");
   }
-  Tensor grad_in = grad_output;
-  for (std::size_t i = 0; i < grad_in.size(); ++i) {
-    if (cached_input_[i] <= 0.0f) grad_in[i] = 0.0f;
-  }
-  return grad_in;
+  kernels::relu_backward_mask(grad_output.data().data(), mask_size_,
+                              active_mask_.data());
+  return grad_output;
 }
 
 std::unique_ptr<Layer> Relu::clone() const { return std::make_unique<Relu>(); }
@@ -129,112 +136,58 @@ void Conv2d::init(stats::Rng& rng) {
   for (std::size_t i = nw; i < params_.size(); ++i) params_[i] = 0.0f;
 }
 
-Tensor Conv2d::forward(const Tensor& input) {
+Tensor Conv2d::forward(Tensor input) {
   const auto& s = input.shape();
   if (s.size() != 4 || s[1] != cin_) {
     throw std::invalid_argument("Conv2d::forward: expected [B, Cin, H, W]");
   }
-  cached_input_ = input;
-  const std::size_t batch = s[0];
   const std::size_t h = s[2];
   const std::size_t w = s[3];
   if (h + 2 * pad_ < k_ || w + 2 * pad_ < k_) {
     throw std::invalid_argument("Conv2d::forward: kernel larger than input");
   }
-  const std::size_t oh = h + 2 * pad_ - k_ + 1;
-  const std::size_t ow = w + 2 * pad_ - k_ + 1;
-  Tensor out({batch, cout_, oh, ow});
-
-  const float* wts = params_.data();
-  const float* bias = params_.data() + cout_ * cin_ * k_ * k_;
-  const float* in = input.data().data();
-  float* o = out.data().data();
-
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t oc = 0; oc < cout_; ++oc) {
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          double acc = bias[oc];
-          for (std::size_t ic = 0; ic < cin_; ++ic) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
-                                        static_cast<std::ptrdiff_t>(pad_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox + kx) -
-                    static_cast<std::ptrdiff_t>(pad_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-                const float v =
-                    in[((b * cin_ + ic) * h + static_cast<std::size_t>(iy)) *
-                           w +
-                       static_cast<std::size_t>(ix)];
-                const float wt =
-                    wts[((oc * cin_ + ic) * k_ + ky) * k_ + kx];
-                acc += static_cast<double>(v) * wt;
-              }
-            }
-          }
-          o[((b * cout_ + oc) * oh + oy) * ow + ox] =
-              static_cast<float>(acc);
-        }
-      }
-    }
-  }
+  cached_input_ = std::move(input);
+  kernels::Conv2dShape shape{cached_input_.dim(0), cin_, h,
+                             w,                    cout_, k_,
+                             pad_,                 h + 2 * pad_ - k_ + 1,
+                             w + 2 * pad_ - k_ + 1};
+  Tensor out({shape.batch, cout_, shape.oh, shape.ow});
+  kernels::ops().conv2d_forward(shape, cached_input_.data().data(),
+                                params_.data(),
+                                params_.data() + cout_ * cin_ * k_ * k_,
+                                out.data().data());
   return out;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_output) {
+Tensor Conv2d::backward(Tensor grad_output) {
+  return backward_impl(std::move(grad_output), /*need_input_grad=*/true);
+}
+
+Tensor Conv2d::backward_params_only(Tensor grad_output) {
+  return backward_impl(std::move(grad_output), /*need_input_grad=*/false);
+}
+
+Tensor Conv2d::backward_impl(Tensor grad_output, bool need_input_grad) {
   const auto& gs = grad_output.shape();
   const auto& is = cached_input_.shape();
   if (gs.size() != 4 || gs[1] != cout_) {
     throw std::invalid_argument("Conv2d::backward: expected [B, Cout, OH, OW]");
   }
-  const std::size_t batch = is[0];
-  const std::size_t h = is[2];
-  const std::size_t w = is[3];
-  const std::size_t oh = gs[2];
-  const std::size_t ow = gs[3];
-
-  Tensor grad_in(is);
-  const float* wts = params_.data();
-  float* gw = grads_.data();
-  float* gb = grads_.data() + cout_ * cin_ * k_ * k_;
-  const float* in = cached_input_.data().data();
-  const float* go = grad_output.data().data();
-  float* gi = grad_in.data().data();
-
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t oc = 0; oc < cout_; ++oc) {
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          const float g = go[((b * cout_ + oc) * oh + oy) * ow + ox];
-          if (g == 0.0f) continue;
-          gb[oc] += g;
-          for (std::size_t ic = 0; ic < cin_; ++ic) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
-                                        static_cast<std::ptrdiff_t>(pad_);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox + kx) -
-                    static_cast<std::ptrdiff_t>(pad_);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-                const std::size_t in_idx =
-                    ((b * cin_ + ic) * h + static_cast<std::size_t>(iy)) * w +
-                    static_cast<std::size_t>(ix);
-                const std::size_t w_idx =
-                    ((oc * cin_ + ic) * k_ + ky) * k_ + kx;
-                gw[w_idx] += g * in[in_idx];
-                gi[in_idx] += g * wts[w_idx];
-              }
-            }
-          }
-        }
-      }
-    }
+  kernels::Conv2dShape shape{is[0], cin_, is[2], is[3], cout_,
+                             k_,    pad_, gs[2], gs[3]};
+  if (!need_input_grad) {
+    kernels::ops().conv2d_backward(shape, cached_input_.data().data(),
+                                   params_.data(), grad_output.data().data(),
+                                   grads_.data(),
+                                   grads_.data() + cout_ * cin_ * k_ * k_,
+                                   nullptr);
+    return {};
   }
+  Tensor grad_in(is);
+  kernels::ops().conv2d_backward(
+      shape, cached_input_.data().data(), params_.data(),
+      grad_output.data().data(), grads_.data(),
+      grads_.data() + cout_ * cin_ * k_ * k_, grad_in.data().data());
   return grad_in;
 }
 
@@ -246,7 +199,7 @@ std::unique_ptr<Layer> Conv2d::clone() const {
 
 // ------------------------------------------------------------ MaxPool2d
 
-Tensor MaxPool2d::forward(const Tensor& input) {
+Tensor MaxPool2d::forward(Tensor input) {
   const auto& s = input.shape();
   if (s.size() != 4 || s[2] % 2 != 0 || s[3] % 2 != 0) {
     throw std::invalid_argument(
@@ -260,36 +213,39 @@ Tensor MaxPool2d::forward(const Tensor& input) {
   const std::size_t oh = h / 2;
   const std::size_t ow = w / 2;
   Tensor out({batch, c, oh, ow});
-  argmax_.assign(out.size(), 0);
+  argmax_.resize(out.size());
   const float* in = input.data().data();
   float* o = out.data().data();
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::size_t best_idx = 0;
-          for (std::size_t dy = 0; dy < 2; ++dy) {
-            for (std::size_t dx = 0; dx < 2; ++dx) {
-              const std::size_t idx =
-                  ((b * c + ch) * h + (2 * oy + dy)) * w + (2 * ox + dx);
-              if (in[idx] > best) {
-                best = in[idx];
-                best_idx = idx;
-              }
-            }
-          }
-          const std::size_t out_idx = ((b * c + ch) * oh + oy) * ow + ox;
-          o[out_idx] = best;
-          argmax_[out_idx] = best_idx;
-        }
+  // Per channel plane, walk two input rows at a time; ties keep the
+  // first candidate in (0,0) (0,1) (1,0) (1,1) order.
+  for (std::size_t plane = 0; plane < batch * c; ++plane) {
+    const std::size_t pbase = plane * h * w;
+    const float* pin = in + pbase;
+    float* pout = o + plane * oh * ow;
+    std::size_t* parg = argmax_.data() + plane * oh * ow;
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      const float* r0 = pin + 2 * oy * w;
+      const float* r1 = r0 + w;
+      const std::size_t rbase = pbase + 2 * oy * w;
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::size_t x = 2 * ox;
+        // Branchless tournament; strict > keeps the first candidate on
+        // ties, matching the scan order above.
+        const float m0 = r0[x + 1] > r0[x] ? r0[x + 1] : r0[x];
+        const std::size_t i0 = r0[x + 1] > r0[x] ? x + 1 : x;
+        const float m1 = r1[x + 1] > r1[x] ? r1[x + 1] : r1[x];
+        const std::size_t i1 = w + (r1[x + 1] > r1[x] ? x + 1 : x);
+        pout[ox] = m1 > m0 ? m1 : m0;
+        parg[ox] = rbase + (m1 > m0 ? i1 : i0);
       }
+      pout += ow;
+      parg += ow;
     }
   }
   return out;
 }
 
-Tensor MaxPool2d::backward(const Tensor& grad_output) {
+Tensor MaxPool2d::backward(Tensor grad_output) {
   if (grad_output.size() != argmax_.size()) {
     throw std::invalid_argument("MaxPool2d::backward: size mismatch");
   }
@@ -306,21 +262,18 @@ std::unique_ptr<Layer> MaxPool2d::clone() const {
 
 // -------------------------------------------------------------- Flatten
 
-Tensor Flatten::forward(const Tensor& input) {
+Tensor Flatten::forward(Tensor input) {
   if (input.rank() < 2) {
     throw std::invalid_argument("Flatten::forward: rank >= 2 required");
   }
   in_shape_ = input.shape();
   const std::size_t batch = in_shape_[0];
-  Tensor out = input;
-  out.reshape({batch, input.size() / batch});
-  return out;
+  const std::size_t features = input.size() / batch;
+  return std::move(input).reshaped({batch, features});
 }
 
-Tensor Flatten::backward(const Tensor& grad_output) {
-  Tensor grad_in = grad_output;
-  grad_in.reshape(in_shape_);
-  return grad_in;
+Tensor Flatten::backward(Tensor grad_output) {
+  return std::move(grad_output).reshaped(in_shape_);
 }
 
 std::unique_ptr<Layer> Flatten::clone() const {

@@ -25,18 +25,26 @@ void Model::add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
 }
 
-Tensor Model::forward(const Tensor& input) {
-  Tensor x = input;
-  for (auto& l : layers_) x = l->forward(x);
-  return x;
+Tensor Model::forward(Tensor input) {
+  for (auto& l : layers_) input = l->forward(std::move(input));
+  return input;
 }
 
-Tensor Model::backward(const Tensor& grad_output) {
-  Tensor g = grad_output;
+Tensor Model::backward(Tensor grad_output) {
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    grad_output = (*it)->backward(std::move(grad_output));
   }
-  return g;
+  return grad_output;
+}
+
+void Model::backward_params_only(Tensor grad_output) {
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    if (std::next(it) == layers_.rend()) {
+      (*it)->backward_params_only(std::move(grad_output));
+      return;
+    }
+    grad_output = (*it)->backward(std::move(grad_output));
+  }
 }
 
 void Model::zero_grad() {

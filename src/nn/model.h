@@ -27,13 +27,21 @@ class Model {
 
   void add(std::unique_ptr<Layer> layer);
 
-  // Forward through all layers.
-  Tensor forward(const Tensor& input);
+  // Forward through all layers. Takes the batch by value and moves it
+  // through the stack — callers holding an lvalue pay exactly one copy at
+  // the call site; rvalue callers pay none.
+  Tensor forward(Tensor input);
 
   // Backward through all layers (after a forward); accumulates parameter
   // gradients and returns dL/d(input) — input gradients drive trigger
   // reverse-engineering (Neural Cleanse) and adversarial probing.
-  Tensor backward(const Tensor& grad_output);
+  Tensor backward(Tensor grad_output);
+
+  // Backward that discards dL/d(input): the first layer runs its
+  // params-only pass (the input-gradient GEMM / col2im is skipped).
+  // Parameter gradients are bit-identical to backward() — this is what
+  // the SGD training loops use.
+  void backward_params_only(Tensor grad_output);
 
   void zero_grad();
 

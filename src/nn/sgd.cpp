@@ -65,7 +65,7 @@ double train_sgd(Model& model, const data::Dataset& d, const SgdConfig& config,
   return run_epochs(model, d, config, rng, [&](const data::Batch& batch) {
     const Tensor logits = model.forward(batch.x);
     auto res = softmax_cross_entropy(logits, batch.labels);
-    model.backward(res.grad_logits);
+    model.backward_params_only(res.grad_logits);
     return res.loss;
   });
 }
@@ -84,7 +84,7 @@ double train_sgd_distill(Model& model, Model& teacher, double distill_weight,
       grad[i] = static_cast<float>(grad[i] +
                                    distill_weight * soft.grad_logits[i]);
     }
-    model.backward(grad);
+    model.backward_params_only(grad);
     return hard.loss + distill_weight * soft.loss;
   });
 }
@@ -98,7 +98,7 @@ double train_sgd_proximal(Model& model, std::span<const float> anchor,
   return run_epochs(model, d, config, rng, [&](const data::Batch& batch) {
     const Tensor logits = model.forward(batch.x);
     auto res = softmax_cross_entropy(logits, batch.labels);
-    model.backward(res.grad_logits);
+    model.backward_params_only(res.grad_logits);
     // Add the proximal term's gradient: penalty * (theta - anchor).
     std::size_t offset = 0;
     double prox_loss = 0.0;

@@ -47,6 +47,10 @@ std::uint64_t config_fingerprint(const ExperimentConfig& c) {
   h = mix_double(h, c.faults.straggler_prob);
   h = mix_double(h, c.faults.corrupt_prob);
   h = mix(h, c.faults.straggler_staleness);
+  // The kernel set is INCLUDED: naive and blocked kernels produce
+  // different float rounding, so resuming a checkpoint under the other
+  // set would silently splice two numerically different trajectories.
+  h = mix(h, static_cast<std::uint64_t>(c.kernels));
   // cfg.rounds is deliberately excluded: resuming with a larger round
   // budget than the checkpointed run is a supported way to extend an
   // experiment. cfg.threads is excluded too: the parallel runtime is

@@ -14,6 +14,7 @@
 #include "core/trojan_trainer.h"
 #include "defense/registry.h"
 #include "fl/faults.h"
+#include "kernels/kernels.h"
 #include "net/network_model.h"
 #include "nn/sgd.h"
 
@@ -112,6 +113,13 @@ struct ExperimentConfig {
   // checkpoint fingerprint, so a run checkpointed at one thread count can
   // resume at another.
   std::size_t threads = 0;
+
+  // Compute-kernel set for the tensor math (src/kernels/): `blocked`
+  // (im2col + packed GEMM, the default) or `naive` (reference loops).
+  // The two sets differ in float rounding, so — unlike `threads` — the
+  // kernel kind IS part of the checkpoint fingerprint; a checkpoint
+  // written under one set cannot resume under the other.
+  kernels::KernelKind kernels = kernels::KernelKind::blocked;
 
   std::uint64_t seed = 42;
 };

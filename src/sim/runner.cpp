@@ -102,6 +102,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
                                 const RunOptions& options) {
   if (cfg.rounds == 0) throw std::invalid_argument("run_experiment: 0 rounds");
 
+  // Select the compute-kernel set before any client math runs (and before
+  // the pool spawns — workers only ever read the registry).
+  kernels::set_active_kernels(cfg.kernels);
+
   // Parallel runtime: one pool for the whole experiment (round-loop
   // client dispatch + evaluation sweeps). Created before the algorithm so
   // it outlives every borrower; a resolved count of 1 means no pool at

@@ -86,4 +86,9 @@ void Tensor::reshape(std::vector<std::size_t> shape) {
   shape_ = std::move(shape);
 }
 
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) && {
+  reshape(std::move(shape));
+  return std::move(*this);
+}
+
 }  // namespace collapois::tensor

@@ -48,6 +48,10 @@ class Tensor {
   // Reshape in place; new volume must match.
   void reshape(std::vector<std::size_t> shape);
 
+  // Rvalue reshape-and-return: lets callers chain a reshape onto a moved
+  // tensor without touching the buffer (Flatten's zero-copy path).
+  Tensor reshaped(std::vector<std::size_t> shape) &&;
+
   bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/kernels.h"
 #include "stats/geometry.h"
 
 namespace collapois::tensor {
@@ -39,9 +40,7 @@ FlatVec scale(std::span<const float> a, double s) {
 
 void axpy_inplace(FlatVec& a, double s, std::span<const float> b) {
   check_same(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    a[i] = static_cast<float>(a[i] + s * b[i]);
-  }
+  kernels::axpy_inplace(a.data(), s, b.data(), a.size());
 }
 
 void scale_inplace(FlatVec& a, double s) {
@@ -52,9 +51,17 @@ FlatVec zeros(std::size_t n) { return FlatVec(n, 0.0f); }
 
 FlatVec mean_of(const std::vector<FlatVec>& vs) {
   if (vs.empty()) throw std::invalid_argument("mean_of: empty set");
-  FlatVec out = zeros(vs[0].size());
-  for (const auto& v : vs) axpy_inplace(out, 1.0, v);
-  scale_inplace(out, 1.0 / static_cast<double>(vs.size()));
+  // Accumulate in double and round to float exactly once at the end, so
+  // the result is independent of summation grouping (parallel reduction
+  // order) up to the final rounding.
+  std::vector<double> acc(vs[0].size(), 0.0);
+  for (const auto& v : vs) {
+    check_same(acc.size(), v.size());
+    kernels::weighted_accumulate(acc.data(), 1.0, v.data(), acc.size());
+  }
+  FlatVec out(acc.size());
+  kernels::scaled_round(acc.data(), 1.0 / static_cast<double>(vs.size()),
+                        out.data(), acc.size());
   return out;
 }
 
@@ -70,10 +77,16 @@ FlatVec weighted_mean_of(const std::vector<FlatVec>& vs,
   if (total <= 0.0) {
     throw std::invalid_argument("weighted_mean_of: weights sum to zero");
   }
-  FlatVec out = zeros(vs[0].size());
+  // Same single-rounding scheme as mean_of: raw weights accumulate into a
+  // double buffer, normalization and the only float rounding happen last.
+  std::vector<double> acc(vs[0].size(), 0.0);
   for (std::size_t i = 0; i < vs.size(); ++i) {
-    axpy_inplace(out, weights[i] / total, vs[i]);
+    check_same(acc.size(), vs[i].size());
+    kernels::weighted_accumulate(acc.data(), weights[i], vs[i].data(),
+                                 acc.size());
   }
+  FlatVec out(acc.size());
+  kernels::scaled_round(acc.data(), 1.0 / total, out.data(), acc.size());
   return out;
 }
 

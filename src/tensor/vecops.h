@@ -30,9 +30,12 @@ void scale_inplace(FlatVec& a, double s);
 FlatVec zeros(std::size_t n);
 
 // Unweighted element-wise mean of a set of equal-length vectors.
+// Accumulates in double precision and rounds to float once, so the result
+// does not depend on how the inputs were grouped for summation.
 FlatVec mean_of(const std::vector<FlatVec>& vs);
 
-// Weighted element-wise mean; weights need not be normalized.
+// Weighted element-wise mean; weights need not be normalized. Same
+// double-accumulate / round-once contract as mean_of.
 FlatVec weighted_mean_of(const std::vector<FlatVec>& vs,
                          std::span<const double> weights);
 

@@ -15,6 +15,7 @@
 #include "data/synthetic_text.h"
 #include "fl/server_algorithm.h"
 #include "fl/state.h"
+#include "kernels/kernels.h"
 #include "nn/zoo.h"
 #include "sim/checkpoint.h"
 #include "sim/runner.h"
@@ -100,6 +101,41 @@ TEST(ConfigFingerprint, SeparatesRunsButNotRoundBudgets) {
   b = a;
   b.faults.dropout_prob = 0.2;
   EXPECT_NE(sim::config_fingerprint(a), sim::config_fingerprint(b));
+}
+
+TEST(ConfigFingerprint, SeparatesKernelSets) {
+  // naive and blocked kernels round differently, so a checkpoint taken
+  // under one set must not resume under the other (unlike threads, which
+  // never changes numerics and is excluded from the fingerprint).
+  sim::ExperimentConfig a;
+  sim::ExperimentConfig b = a;
+  b.kernels = kernels::KernelKind::naive;
+  ASSERT_NE(a.kernels, b.kernels);
+  EXPECT_NE(sim::config_fingerprint(a), sim::config_fingerprint(b));
+}
+
+TEST(CheckpointFile, RejectsResumeUnderOtherKernelSet) {
+  sim::ExperimentConfig cfg;
+  cfg.dataset = sim::DatasetKind::sentiment_like;
+  cfg.n_clients = 8;
+  cfg.samples_per_client = 30;
+  cfg.rounds = 4;
+  cfg.sample_prob = 0.5;
+  cfg.attack = sim::AttackKind::none;
+  cfg.kernels = kernels::KernelKind::blocked;
+
+  const TempFile file("ckpt_kernel_mismatch.bin");
+  sim::RunOptions save;
+  save.checkpoint_save_path = file.path();
+  save.checkpoint_round = 2;
+  (void)sim::run_experiment(cfg, save);
+
+  sim::RunOptions resume;
+  resume.checkpoint_load_path = file.path();
+  cfg.kernels = kernels::KernelKind::naive;
+  EXPECT_THROW(sim::run_experiment(cfg, resume), std::invalid_argument);
+  cfg.kernels = kernels::KernelKind::blocked;
+  (void)sim::run_experiment(cfg, resume);  // same set resumes fine
 }
 
 // Run the experiment three ways and demand bit identity.

@@ -319,11 +319,15 @@ class NetServerFixture : public ::testing::Test {
 
   fl::Server make_server(const net::NetConfig& ncfg, double q = 1.0,
                          std::uint64_t seed = 3) {
-    net_ = std::make_unique<net::NetworkModel>(ncfg);
+    // Servers hold a raw pointer to their NetworkModel, so every model
+    // built here must outlive every server of the test — tests that build
+    // two servers (disabled-vs-enabled comparisons) would otherwise leave
+    // the first one dangling.
+    nets_.push_back(std::make_unique<net::NetworkModel>(ncfg));
     fl::ServerConfig scfg;
     scfg.learning_rate = 1.0;
     scfg.sample_prob = q;
-    scfg.net = net_.get();
+    scfg.net = nets_.back().get();
     return fl::Server(tensor::FlatVec{0.f, 0.f},
                       std::make_unique<fl::FedAvgAggregator>(), scfg,
                       stats::Rng(seed));
@@ -346,7 +350,7 @@ class NetServerFixture : public ::testing::Test {
 
   std::vector<std::unique_ptr<fl::Client>> owned_;
   std::vector<fl::Client*> raw_;
-  std::unique_ptr<net::NetworkModel> net_;
+  std::vector<std::unique_ptr<net::NetworkModel>> nets_;
 };
 
 TEST_F(NetServerFixture, TotalLossDropsWholeCohortAndSkipsRound) {

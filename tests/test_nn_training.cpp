@@ -217,5 +217,52 @@ TEST_F(TrainingFixture, EvalHelpers) {
   EXPECT_LT(mean_loss(m, test_), l);
 }
 
+TEST(BackwardParamsOnly, ParameterGradientsBitIdenticalToFullBackward) {
+  // The SGD loops discard dL/d(input), so they run the first layer's
+  // params-only backward. That shortcut must not move a single gradient
+  // bit — otherwise training results would depend on which entry point
+  // computed them. Covered for both first-layer kinds (Conv2d, Dense).
+  stats::Rng init_rng(911);
+  for (const bool conv_model : {true, false}) {
+    SCOPED_TRACE(conv_model ? "lenet (Conv2d first)" : "mlp (Dense first)");
+    Model full = conv_model ? make_lenet_small({}) : make_mlp_head({});
+    stats::Rng r1(2024);
+    full.init(r1);
+    Model skip = full;  // deep copy via Layer::clone
+
+    stats::Rng data_rng(33);
+    const std::size_t batch = 5;
+    const std::size_t in_dim = conv_model ? 16 * 16 : MlpConfig{}.input_dim;
+    Tensor x(conv_model ? std::vector<std::size_t>{batch, 1, 16, 16}
+                        : std::vector<std::size_t>{batch, in_dim});
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = static_cast<float>(data_rng.normal(0.0, 1.0));
+    }
+    std::vector<int> labels(batch);
+    const std::size_t classes = conv_model ? 10 : MlpConfig{}.num_classes;
+    for (auto& l : labels) {
+      l = static_cast<int>(data_rng.uniform_int(classes));
+    }
+
+    full.zero_grad();
+    auto full_res = softmax_cross_entropy(full.forward(x), labels);
+    full.backward(full_res.grad_logits);
+
+    skip.zero_grad();
+    auto skip_res = softmax_cross_entropy(skip.forward(x), labels);
+    skip.backward_params_only(skip_res.grad_logits);
+
+    ASSERT_EQ(full.num_layers(), skip.num_layers());
+    for (std::size_t l = 0; l < full.num_layers(); ++l) {
+      const auto want = full.layer(l).gradients();
+      const auto got = skip.layer(l).gradients();
+      ASSERT_EQ(want.size(), got.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(want[i], got[i]) << "layer " << l << " grad " << i;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace collapois::nn

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "kernels/kernels.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 #include "sim/runner.h"
@@ -209,6 +210,23 @@ TEST(RuntimeDeterminism, CheckpointCrossesThreadCounts) {
               straight.final_evals[i].benign_ac);
     EXPECT_EQ(resumed.final_evals[i].attack_sr,
               straight.final_evals[i].attack_sr);
+  }
+}
+
+TEST(RuntimeDeterminism, HoldsUnderBothKernelSets) {
+  // The thread-count guarantee must hold for each compute-kernel set
+  // independently (the sets themselves round differently, so runs are
+  // only compared within a set).
+  for (const auto kind :
+       {kernels::KernelKind::naive, kernels::KernelKind::blocked}) {
+    SCOPED_TRACE(kernels::kernel_kind_name(kind));
+    sim::ExperimentConfig cfg = parallel_config();
+    cfg.kernels = kind;
+    cfg.threads = 1;
+    const sim::ExperimentResult sequential = sim::run_experiment(cfg);
+    cfg.threads = 4;
+    const sim::ExperimentResult parallel = sim::run_experiment(cfg);
+    expect_element_exact(sequential, parallel);
   }
 }
 
