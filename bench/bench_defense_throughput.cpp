@@ -1,0 +1,253 @@
+// Defense throughput — naive vs fast aggregation kernels on realistic
+// round shapes.
+//
+// Sweeps cohort sizes n in {16, 64, 256} times the two model dimensions
+// the simulator actually trains (LeNet-small and the MLP head, d taken
+// from nn/zoo at the default configs) across every registry defense with
+// a server-side hot loop (Krum, Multi-Krum, FLARE, coordinate median,
+// trimmed mean, RLR, SignSGD), timing one full Aggregator::aggregate call
+// per pass under both defense-kernel sets. Reports microseconds per
+// aggregation and the fast/naive speedup; the table lands in
+// BENCH_defense_throughput.json.
+//
+// The bench is also a gate: if the fast set is SLOWER than naive on any
+// (defense, n, d) point, it exits 1 — a fast-path regression must never
+// ship silently as the default defense impl.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defense/defense_kernels.h"
+#include "defense/flare.h"
+#include "defense/krum.h"
+#include "defense/median.h"
+#include "defense/rlr.h"
+#include "fl/aggregator.h"
+#include "nn/zoo.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace collapois;
+using Clock = std::chrono::steady_clock;
+
+struct ModelDim {
+  std::string name;
+  std::size_t d;
+};
+
+// The two architectures the simulator trains, at their default configs.
+const std::vector<ModelDim>& model_dims() {
+  static const std::vector<ModelDim> dims = {
+      {"lenet", nn::make_lenet_small({}).num_parameters()},
+      {"mlp", nn::make_mlp_head({}).num_parameters()},
+  };
+  return dims;
+}
+
+const std::vector<std::size_t>& cohort_sizes() {
+  static const std::vector<std::size_t> sizes = {16, 64, 256};
+  return sizes;
+}
+
+struct DefenseCase {
+  std::string name;
+  std::function<std::unique_ptr<fl::Aggregator>()> make;
+};
+
+const std::vector<DefenseCase>& defense_cases() {
+  static const std::vector<DefenseCase> cases = {
+      {"krum",
+       [] {
+         return std::make_unique<defense::KrumAggregator>(
+             defense::KrumConfig{1, 1});
+       }},
+      {"multi-krum",
+       [] {
+         return std::make_unique<defense::KrumAggregator>(
+             defense::KrumConfig{1, 4});
+       }},
+      {"flare",
+       [] {
+         return std::make_unique<defense::FlareAggregator>(
+             defense::FlareConfig{1.0});
+       }},
+      {"median",
+       [] { return std::make_unique<defense::CoordMedianAggregator>(); }},
+      {"trimmed-mean",
+       [] { return std::make_unique<defense::TrimmedMeanAggregator>(0.2); }},
+      {"rlr",
+       [] {
+         return std::make_unique<defense::RlrAggregator>(
+             defense::RlrConfig{2.0});
+       }},
+      {"signsgd",
+       [] {
+         return std::make_unique<defense::SignSgdAggregator>(
+             defense::SignSgdConfig{0.01});
+       }},
+  };
+  return cases;
+}
+
+std::vector<fl::ClientUpdate> random_updates(std::size_t n, std::size_t d,
+                                             std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<fl::ClientUpdate> updates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    updates[i].client_id = i;
+    updates[i].delta.resize(d);
+    for (auto& v : updates[i].delta) {
+      v = static_cast<float>(rng.normal(0.0, 0.1));
+    }
+  }
+  return updates;
+}
+
+std::string point_name(const std::string& defense, std::size_t n,
+                       const std::string& model) {
+  return defense + "/n" + std::to_string(n) + "/" + model;
+}
+
+// (point name, impl name) -> microseconds per aggregate call.
+std::map<std::pair<std::string, std::string>, double>& results() {
+  static std::map<std::pair<std::string, std::string>, double> r;
+  return r;
+}
+
+// Time `reps` aggregate calls under `impl` and return elapsed seconds.
+double time_window(fl::Aggregator& agg,
+                   const std::vector<fl::ClientUpdate>& updates,
+                   defense::DefenseImpl impl, std::size_t reps) {
+  defense::set_active_defense_impl(impl);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < reps; ++i) {
+    tensor::FlatVec out = agg.aggregate(updates, {});
+    benchmark::DoNotOptimize(out.data());
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void run_point(benchmark::State& state, const DefenseCase& dc, std::size_t n,
+               const ModelDim& dim) {
+  const auto updates = random_updates(n, dim.d, 9000 + n + dim.d);
+  auto agg = dc.make();
+  for (auto _ : state) {
+    // Calibrate reps on the naive side (never the faster one) until a
+    // window is long enough for a stable reading.
+    std::size_t reps = 1;
+    double naive_s = time_window(*agg, updates, defense::DefenseImpl::naive,
+                                 reps);  // doubles as warm-up
+    while (naive_s < 0.05 && reps < (1u << 20)) {
+      reps *= 4;
+      naive_s = time_window(*agg, updates, defense::DefenseImpl::naive, reps);
+    }
+    // Best-of-five windows per impl, naive and fast interleaved: the min
+    // is robust against scheduler noise, and alternating the impls keeps
+    // slow clock drift out of the ratio (back-to-back runs fold it in).
+    double fast_s = time_window(*agg, updates, defense::DefenseImpl::fast,
+                                reps);
+    for (int w = 1; w < 5; ++w) {
+      naive_s = std::min(
+          naive_s,
+          time_window(*agg, updates, defense::DefenseImpl::naive, reps));
+      fast_s = std::min(
+          fast_s, time_window(*agg, updates, defense::DefenseImpl::fast, reps));
+    }
+    const double naive_us = naive_s / static_cast<double>(reps) * 1e6;
+    const double fast_us = fast_s / static_cast<double>(reps) * 1e6;
+    const std::string point = point_name(dc.name, n, dim.name);
+    results()[{point, "naive"}] = naive_us;
+    results()[{point, "fast"}] = fast_us;
+    state.counters["naive_us"] = naive_us;
+    state.counters["fast_us"] = fast_us;
+    state.counters["speedup"] = naive_us / fast_us;
+  }
+  defense::set_active_defense_impl(defense::DefenseImpl::fast);
+}
+
+void register_all() {
+  for (const auto& dc : defense_cases()) {
+    for (const std::size_t n : cohort_sizes()) {
+      for (const auto& dim : model_dims()) {
+        const std::string name =
+            "defense_throughput/" + point_name(dc.name, n, dim.name);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [&dc, n, &dim](benchmark::State& s) { run_point(s, dc, n, dim); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+void finalize() {
+  const auto& res = results();
+  if (res.empty()) return;
+
+  std::cout << "== Defense throughput — naive vs fast, one aggregate call "
+               "==\n";
+  std::cout << std::right << std::setw(24) << "point" << std::setw(14)
+            << "naive us" << std::setw(14) << "fast us" << std::setw(10)
+            << "speedup" << "\n";
+  bool fast_never_slower = true;
+  std::string json = "";
+  for (const auto& dc : defense_cases()) {
+    for (const std::size_t n : cohort_sizes()) {
+      for (const auto& dim : model_dims()) {
+        const std::string point = point_name(dc.name, n, dim.name);
+        const auto naive = res.find({point, "naive"});
+        const auto fast = res.find({point, "fast"});
+        if (naive == res.end() || fast == res.end()) continue;
+        const double speedup = naive->second / fast->second;
+        // Small points are dominated by the shared UpdateMatrix build and
+        // the aggregate epilogue, so their ratio hovers at 1.0; gate with
+        // a 3% tolerance so only real regressions trip it.
+        if (speedup < 0.97) fast_never_slower = false;
+        std::cout << std::right << std::setw(24) << point << std::fixed
+                  << std::setprecision(1) << std::setw(14) << naive->second
+                  << std::setw(14) << fast->second << std::setprecision(2)
+                  << std::setw(10) << speedup << "\n";
+        std::cout.unsetf(std::ios::fixed);
+        if (!json.empty()) json += ",";
+        json += "\n  {\"defense\": \"" + dc.name + "\"";
+        json += ", \"n\": " + std::to_string(n);
+        json += ", \"model\": \"" + dim.name + "\"";
+        json += ", \"d\": " + std::to_string(dim.d);
+        json += ", \"naive_us\": " + std::to_string(naive->second);
+        json += ", \"fast_us\": " + std::to_string(fast->second);
+        json += ", \"speedup\": " + std::to_string(speedup) + "}";
+      }
+    }
+  }
+  std::cout << "fast_never_slower="
+            << (fast_never_slower ? "yes" : "NO — FAST REGRESSED") << "\n";
+
+  std::ofstream out("BENCH_defense_throughput.json");
+  out << "{\"bench\": \"defense_throughput\",\n"
+      << " \"workload\": \"one Aggregator::aggregate call, random updates\",\n"
+      << " \"fast_never_slower\": " << (fast_never_slower ? "true" : "false")
+      << ",\n \"points\": [" << json << "\n]}\n";
+  if (!fast_never_slower) std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  finalize();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -43,6 +43,9 @@ experiment:
   --kernels NAME     compute kernels: blocked | naive              [blocked]
                      (blocked = im2col + packed GEMM; naive =
                      reference loops — the two round differently)
+  --defense-impl N   defense kernels: fast | naive                 [fast]
+                     (fast = GEMM pairwise distances + tiled
+                     coordinate rules; naive = reference loops)
 
 fault injection and hardening (DESIGN.md paragraph 6):
   --dropout F        per-round client dropout probability [0, 1]   [0]
@@ -181,6 +184,8 @@ int main(int argc, char** argv) {
         cfg.threads = parse_count(flag, value());
       } else if (flag == "--kernels") {
         cfg.kernels = kernels::parse_kernel_kind(value());
+      } else if (flag == "--defense-impl") {
+        cfg.defense_impl = defense::parse_defense_impl(value());
       } else if (flag == "--dropout") {
         cfg.faults.dropout_prob = parse_prob(flag, value());
       } else if (flag == "--straggler") {

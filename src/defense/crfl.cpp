@@ -16,10 +16,10 @@ CrflAggregator::CrflAggregator(CrflConfig config,
   }
 }
 
-tensor::FlatVec CrflAggregator::aggregate(
-    const std::vector<fl::ClientUpdate>& updates,
-    std::span<const float> global) {
-  return inner_->aggregate(updates, global);
+tensor::FlatVec CrflAggregator::do_aggregate(
+    const std::vector<fl::ClientUpdate>& updates, std::span<const float> global,
+    runtime::ThreadPool* pool) {
+  return inner_->aggregate(updates, global, pool);
 }
 
 void CrflAggregator::post_update(tensor::FlatVec& params) {

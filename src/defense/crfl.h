@@ -26,8 +26,6 @@ class CrflAggregator : public fl::Aggregator {
   CrflAggregator(CrflConfig config, std::unique_ptr<fl::Aggregator> inner,
                  stats::Rng rng);
 
-  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
-                            std::span<const float> global) override;
   void post_update(tensor::FlatVec& params) override;
   std::string name() const override { return "crfl"; }
   void save_state(fl::StateWriter& w) const override {
@@ -42,6 +40,11 @@ class CrflAggregator : public fl::Aggregator {
   // Certified L2 radius around the smoothed model for a majority-vote
   // margin p in (0.5, 1): radius = noise_std * Phi^{-1}(p).
   double certified_radius(double vote_margin) const;
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
 
  private:
   CrflConfig config_;

@@ -11,10 +11,13 @@ std::vector<UpdateFeatures> extract_features(
   if (updates.empty()) {
     throw std::invalid_argument("extract_features: no updates");
   }
-  std::vector<tensor::FlatVec> deltas;
+  // Borrowed views into the deltas — no per-update deep copies just to
+  // compute the round mean.
+  std::vector<std::span<const float>> deltas;
   deltas.reserve(updates.size());
-  for (const auto& u : updates) deltas.push_back(u.delta);
-  const tensor::FlatVec mean = tensor::mean_of(deltas);
+  for (const auto& u : updates) deltas.emplace_back(u.delta);
+  const tensor::FlatVec mean =
+      tensor::mean_of(std::span<const std::span<const float>>(deltas));
 
   std::vector<UpdateFeatures> out;
   out.reserve(updates.size());

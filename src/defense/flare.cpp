@@ -1,9 +1,11 @@
 #include "defense/flare.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
-#include "stats/geometry.h"
+#include "defense/defense_kernels.h"
+#include "fl/update_matrix.h"
 
 namespace collapois::defense {
 
@@ -13,9 +15,9 @@ FlareAggregator::FlareAggregator(FlareConfig config) : config_(config) {
   }
 }
 
-tensor::FlatVec FlareAggregator::aggregate(
+tensor::FlatVec FlareAggregator::do_aggregate(
     const std::vector<fl::ClientUpdate>& updates,
-    std::span<const float> /*global*/) {
+    std::span<const float> /*global*/, runtime::ThreadPool* pool) {
   if (updates.empty()) {
     throw std::invalid_argument("FlareAggregator: no updates");
   }
@@ -25,14 +27,16 @@ tensor::FlatVec FlareAggregator::aggregate(
     return updates[0].delta;
   }
 
-  // Mean pairwise distance of each update to the others.
+  // Mean pairwise distance of each update to the others, off the shared
+  // squared-distance kernel. Accumulating row i over j ascending matches
+  // the original upper-triangle loop's order exactly.
+  fl::UpdateMatrix matrix(updates);
+  std::vector<double> d2(n * n);
+  defense_ops().pairwise_sq_dists(matrix, d2.data(), pool);
   std::vector<double> mean_dist(n, 0.0);
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d =
-          stats::l2_distance(updates[i].delta, updates[j].delta);
-      mean_dist[i] += d;
-      mean_dist[j] += d;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) mean_dist[i] += std::sqrt(d2[i * n + j]);
     }
   }
   for (auto& d : mean_dist) d /= static_cast<double>(n - 1);
@@ -48,10 +52,11 @@ tensor::FlatVec FlareAggregator::aggregate(
   }
   for (auto& t : trust_) t /= z;
 
-  std::vector<tensor::FlatVec> deltas;
+  std::vector<std::span<const float>> deltas;
   deltas.reserve(n);
-  for (const auto& u : updates) deltas.push_back(u.delta);
-  return tensor::weighted_mean_of(deltas, trust_);
+  for (const auto& u : updates) deltas.emplace_back(u.delta);
+  return tensor::weighted_mean_of(
+      std::span<const std::span<const float>>(deltas), trust_);
 }
 
 }  // namespace collapois::defense

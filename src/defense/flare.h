@@ -20,12 +20,15 @@ class FlareAggregator : public fl::Aggregator {
  public:
   explicit FlareAggregator(FlareConfig config);
 
-  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
-                            std::span<const float> global) override;
   std::string name() const override { return "flare"; }
 
   // Trust scores of the last round (parallel to its update list).
   const std::vector<double>& last_trust() const { return trust_; }
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
 
  private:
   FlareConfig config_;

@@ -4,7 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "stats/geometry.h"
+#include "defense/defense_kernels.h"
+#include "fl/update_matrix.h"
 
 namespace collapois::defense {
 
@@ -14,9 +15,9 @@ KrumAggregator::KrumAggregator(KrumConfig config) : config_(config) {
   }
 }
 
-tensor::FlatVec KrumAggregator::aggregate(
+tensor::FlatVec KrumAggregator::do_aggregate(
     const std::vector<fl::ClientUpdate>& updates,
-    std::span<const float> /*global*/) {
+    std::span<const float> /*global*/, runtime::ThreadPool* pool) {
   if (updates.empty()) {
     throw std::invalid_argument("KrumAggregator: no updates");
   }
@@ -26,14 +27,11 @@ tensor::FlatVec KrumAggregator::aggregate(
     return updates[0].delta;
   }
 
-  // Pairwise squared distances.
-  std::vector<std::vector<double>> d2(n, std::vector<double>(n, 0.0));
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = stats::l2_distance(updates[i].delta, updates[j].delta);
-      d2[i][j] = d2[j][i] = d * d;
-    }
-  }
+  // Pairwise squared distances via the active defense-kernel set (the
+  // O(n^2 d) hot loop; everything below is O(n^2 log n) on scalars).
+  fl::UpdateMatrix matrix(updates);
+  std::vector<double> d2(n * n);
+  defense_ops().pairwise_sq_dists(matrix, d2.data(), pool);
 
   // Krum score: sum over the closest n - f - 2 neighbours.
   const std::size_t f = config_.assumed_byzantine;
@@ -44,7 +42,7 @@ tensor::FlatVec KrumAggregator::aggregate(
     std::vector<double> row;
     row.reserve(n - 1);
     for (std::size_t j = 0; j < n; ++j) {
-      if (j != i) row.push_back(d2[i][j]);
+      if (j != i) row.push_back(d2[i * n + j]);
     }
     std::sort(row.begin(), row.end());
     const std::size_t take = std::min(neighbours, row.size());
@@ -62,10 +60,11 @@ tensor::FlatVec KrumAggregator::aggregate(
   selected_.assign(order.begin(),
                    order.begin() + static_cast<std::ptrdiff_t>(take));
 
-  std::vector<tensor::FlatVec> chosen;
+  std::vector<std::span<const float>> chosen;
   chosen.reserve(take);
-  for (std::size_t idx : selected_) chosen.push_back(updates[idx].delta);
-  return tensor::mean_of(chosen);
+  for (std::size_t idx : selected_) chosen.emplace_back(updates[idx].delta);
+  return tensor::mean_of(
+      std::span<const std::span<const float>>(chosen));
 }
 
 std::string KrumAggregator::name() const {

@@ -19,13 +19,16 @@ class KrumAggregator : public fl::Aggregator {
  public:
   explicit KrumAggregator(KrumConfig config);
 
-  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
-                            std::span<const float> global) override;
   std::string name() const override;
 
   // Indices (into the last round's update list) Krum selected, for
   // detection-precision analyses.
   const std::vector<std::size_t>& last_selected() const { return selected_; }
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
 
  private:
   KrumConfig config_;

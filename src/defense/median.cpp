@@ -1,33 +1,21 @@
 #include "defense/median.h"
 
-#include <algorithm>
 #include <stdexcept>
+
+#include "defense/defense_kernels.h"
+#include "fl/update_matrix.h"
 
 namespace collapois::defense {
 
-tensor::FlatVec CoordMedianAggregator::aggregate(
+tensor::FlatVec CoordMedianAggregator::do_aggregate(
     const std::vector<fl::ClientUpdate>& updates,
-    std::span<const float> /*global*/) {
+    std::span<const float> /*global*/, runtime::ThreadPool* pool) {
   if (updates.empty()) {
     throw std::invalid_argument("CoordMedianAggregator: no updates");
   }
-  const std::size_t m = updates[0].delta.size();
-  const std::size_t n = updates.size();
-  tensor::FlatVec out(m);
-  std::vector<float> column(n);
-  for (std::size_t j = 0; j < m; ++j) {
-    for (std::size_t i = 0; i < n; ++i) column[i] = updates[i].delta[j];
-    auto mid = column.begin() + static_cast<std::ptrdiff_t>(n / 2);
-    std::nth_element(column.begin(), mid, column.end());
-    if (n % 2 == 1) {
-      out[j] = *mid;
-    } else {
-      const float upper = *mid;
-      const float lower =
-          *std::max_element(column.begin(), mid);
-      out[j] = (lower + upper) / 2.0f;
-    }
-  }
+  fl::UpdateMatrix matrix(updates);
+  tensor::FlatVec out(matrix.cols());
+  defense_ops().coord_median(matrix, out.data(), pool);
   return out;
 }
 
@@ -39,31 +27,17 @@ TrimmedMeanAggregator::TrimmedMeanAggregator(double trim_fraction)
   }
 }
 
-tensor::FlatVec TrimmedMeanAggregator::aggregate(
+tensor::FlatVec TrimmedMeanAggregator::do_aggregate(
     const std::vector<fl::ClientUpdate>& updates,
-    std::span<const float> /*global*/) {
+    std::span<const float> /*global*/, runtime::ThreadPool* pool) {
   if (updates.empty()) {
     throw std::invalid_argument("TrimmedMeanAggregator: no updates");
   }
-  const std::size_t m = updates[0].delta.size();
-  const std::size_t n = updates.size();
+  fl::UpdateMatrix matrix(updates);
   const std::size_t trim = static_cast<std::size_t>(
-      trim_fraction_ * static_cast<double>(n));
-  tensor::FlatVec out(m);
-  std::vector<float> column(n);
-  for (std::size_t j = 0; j < m; ++j) {
-    for (std::size_t i = 0; i < n; ++i) column[i] = updates[i].delta[j];
-    std::sort(column.begin(), column.end());
-    double sum = 0.0;
-    std::size_t count = 0;
-    for (std::size_t i = trim; i + trim < n; ++i) {
-      sum += column[i];
-      ++count;
-    }
-    out[j] = (count > 0)
-                 ? static_cast<float>(sum / static_cast<double>(count))
-                 : column[n / 2];
-  }
+      trim_fraction_ * static_cast<double>(matrix.rows()));
+  tensor::FlatVec out(matrix.cols());
+  defense_ops().trimmed_mean(matrix, trim, out.data(), pool);
   return out;
 }
 

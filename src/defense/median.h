@@ -9,9 +9,12 @@ namespace collapois::defense {
 // theta_j = median_i(delta_i[j]) for every coordinate j.
 class CoordMedianAggregator : public fl::Aggregator {
  public:
-  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
-                            std::span<const float> global) override;
   std::string name() const override { return "coord-median"; }
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
 };
 
 // Per coordinate, drop the largest and smallest `trim_fraction` of values
@@ -20,9 +23,12 @@ class TrimmedMeanAggregator : public fl::Aggregator {
  public:
   explicit TrimmedMeanAggregator(double trim_fraction);
 
-  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
-                            std::span<const float> global) override;
   std::string name() const override { return "trimmed-mean"; }
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
 
  private:
   double trim_fraction_;

@@ -25,11 +25,11 @@ NormBoundAggregator::NormBoundAggregator(NormBoundConfig config,
   }
 }
 
-tensor::FlatVec NormBoundAggregator::aggregate(
-    const std::vector<fl::ClientUpdate>& updates,
-    std::span<const float> global) {
+tensor::FlatVec NormBoundAggregator::do_aggregate(
+    const std::vector<fl::ClientUpdate>& updates, std::span<const float> global,
+    runtime::ThreadPool* pool) {
   const auto clipped = clip_updates(updates, config_.clip);
-  tensor::FlatVec agg = inner_->aggregate(clipped, global);
+  tensor::FlatVec agg = inner_->aggregate(clipped, global, pool);
   if (config_.noise_std > 0.0) {
     for (auto& v : agg) {
       v = static_cast<float>(v + rng_.normal(0.0, config_.noise_std));
@@ -48,11 +48,11 @@ DpAggregator::DpAggregator(DpConfig config,
   }
 }
 
-tensor::FlatVec DpAggregator::aggregate(
-    const std::vector<fl::ClientUpdate>& updates,
-    std::span<const float> global) {
+tensor::FlatVec DpAggregator::do_aggregate(
+    const std::vector<fl::ClientUpdate>& updates, std::span<const float> global,
+    runtime::ThreadPool* pool) {
   const auto clipped = clip_updates(updates, config_.clip);
-  tensor::FlatVec agg = inner_->aggregate(clipped, global);
+  tensor::FlatVec agg = inner_->aggregate(clipped, global, pool);
   const double sigma =
       config_.user_level
           ? config_.noise_multiplier * config_.clip

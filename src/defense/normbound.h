@@ -28,8 +28,6 @@ class NormBoundAggregator : public fl::Aggregator {
   NormBoundAggregator(NormBoundConfig config,
                       std::unique_ptr<fl::Aggregator> inner, stats::Rng rng);
 
-  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
-                            std::span<const float> global) override;
   std::string name() const override { return "norm-bound"; }
   void save_state(fl::StateWriter& w) const override {
     w.write_rng(rng_);
@@ -39,6 +37,11 @@ class NormBoundAggregator : public fl::Aggregator {
     r.read_rng(rng_);
     inner_->load_state(r);
   }
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
 
  private:
   NormBoundConfig config_;
@@ -60,8 +63,6 @@ class DpAggregator : public fl::Aggregator {
   DpAggregator(DpConfig config, std::unique_ptr<fl::Aggregator> inner,
                stats::Rng rng);
 
-  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
-                            std::span<const float> global) override;
   std::string name() const override { return "dp"; }
   void save_state(fl::StateWriter& w) const override {
     w.write_rng(rng_);
@@ -71,6 +72,11 @@ class DpAggregator : public fl::Aggregator {
     r.read_rng(rng_);
     inner_->load_state(r);
   }
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
 
  private:
   DpConfig config_;

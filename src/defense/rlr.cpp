@@ -1,7 +1,9 @@
 #include "defense/rlr.h"
 
-#include <cmath>
 #include <stdexcept>
+
+#include "defense/defense_kernels.h"
+#include "fl/update_matrix.h"
 
 namespace collapois::defense {
 
@@ -11,32 +13,15 @@ RlrAggregator::RlrAggregator(RlrConfig config) : config_(config) {
   }
 }
 
-tensor::FlatVec RlrAggregator::aggregate(
+tensor::FlatVec RlrAggregator::do_aggregate(
     const std::vector<fl::ClientUpdate>& updates,
-    std::span<const float> /*global*/) {
+    std::span<const float> /*global*/, runtime::ThreadPool* pool) {
   if (updates.empty()) {
     throw std::invalid_argument("RlrAggregator: no updates");
   }
-  const std::size_t m = updates[0].delta.size();
-  const std::size_t n = updates.size();
-  tensor::FlatVec out(m, 0.0f);
-  for (std::size_t j = 0; j < m; ++j) {
-    double sum = 0.0;
-    double sign_sum = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const float v = updates[i].delta[j];
-      sum += v;
-      if (v > 0.0f) {
-        sign_sum += 1.0;
-      } else if (v < 0.0f) {
-        sign_sum -= 1.0;
-      }
-    }
-    const double mean = sum / static_cast<double>(n);
-    // Flip the coordinate's learning rate when sign agreement is weak.
-    out[j] = static_cast<float>(
-        std::fabs(sign_sum) >= config_.threshold ? mean : -mean);
-  }
+  fl::UpdateMatrix matrix(updates);
+  tensor::FlatVec out(matrix.cols());
+  defense_ops().rlr_vote(matrix, config_.threshold, out.data(), pool);
   return out;
 }
 
@@ -46,26 +31,15 @@ SignSgdAggregator::SignSgdAggregator(SignSgdConfig config) : config_(config) {
   }
 }
 
-tensor::FlatVec SignSgdAggregator::aggregate(
+tensor::FlatVec SignSgdAggregator::do_aggregate(
     const std::vector<fl::ClientUpdate>& updates,
-    std::span<const float> /*global*/) {
+    std::span<const float> /*global*/, runtime::ThreadPool* pool) {
   if (updates.empty()) {
     throw std::invalid_argument("SignSgdAggregator: no updates");
   }
-  const std::size_t m = updates[0].delta.size();
-  tensor::FlatVec out(m, 0.0f);
-  for (std::size_t j = 0; j < m; ++j) {
-    double sign_sum = 0.0;
-    for (const auto& u : updates) {
-      if (u.delta[j] > 0.0f) {
-        sign_sum += 1.0;
-      } else if (u.delta[j] < 0.0f) {
-        sign_sum -= 1.0;
-      }
-    }
-    out[j] = static_cast<float>(
-        config_.step * (sign_sum > 0.0 ? 1.0 : (sign_sum < 0.0 ? -1.0 : 0.0)));
-  }
+  fl::UpdateMatrix matrix(updates);
+  tensor::FlatVec out(matrix.cols());
+  defense_ops().sign_vote(matrix, config_.step, out.data(), pool);
   return out;
 }
 

@@ -22,9 +22,12 @@ class RlrAggregator : public fl::Aggregator {
  public:
   explicit RlrAggregator(RlrConfig config);
 
-  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
-                            std::span<const float> global) override;
   std::string name() const override { return "rlr"; }
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
 
  private:
   RlrConfig config_;
@@ -39,9 +42,12 @@ class SignSgdAggregator : public fl::Aggregator {
  public:
   explicit SignSgdAggregator(SignSgdConfig config);
 
-  tensor::FlatVec aggregate(const std::vector<fl::ClientUpdate>& updates,
-                            std::span<const float> global) override;
   std::string name() const override { return "signsgd"; }
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
 
  private:
   SignSgdConfig config_;

@@ -4,9 +4,9 @@
 
 namespace collapois::fl {
 
-tensor::FlatVec FedAvgAggregator::aggregate(
-    const std::vector<ClientUpdate>& updates,
-    std::span<const float> /*global*/) {
+tensor::FlatVec FedAvgAggregator::do_aggregate(
+    const std::vector<ClientUpdate>& updates, std::span<const float> /*global*/,
+    runtime::ThreadPool* /*pool*/) {
   if (updates.empty()) {
     throw std::invalid_argument("FedAvgAggregator: no updates");
   }

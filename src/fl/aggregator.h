@@ -10,6 +10,10 @@
 #include "fl/state.h"
 #include "fl/update.h"
 
+namespace collapois::runtime {
+class ThreadPool;
+}
+
 namespace collapois::fl {
 
 class Aggregator {
@@ -18,9 +22,16 @@ class Aggregator {
 
   // Combine the round's updates into the pseudo-gradient the server
   // applies. `global` is theta^t (some defenses need it). Must cope with a
-  // single update.
-  virtual tensor::FlatVec aggregate(const std::vector<ClientUpdate>& updates,
-                                    std::span<const float> global) = 0;
+  // single update. The optional pool accelerates the defense hot loops
+  // (pairwise distances, coordinate tiles); nullptr runs them inline with
+  // bit-identical results — see defense/defense_kernels.h. Non-virtual
+  // entry so the pool parameter stays optional at every existing call
+  // site; implementations override do_aggregate.
+  tensor::FlatVec aggregate(const std::vector<ClientUpdate>& updates,
+                            std::span<const float> global,
+                            runtime::ThreadPool* pool = nullptr) {
+    return do_aggregate(updates, global, pool);
+  }
 
   // Hook applied to the global parameters *after* the round's update —
   // model-smoothness defenses (CRFL) clip and perturb the model itself
@@ -34,14 +45,22 @@ class Aggregator {
   virtual void load_state(StateReader& /*r*/) {}
 
   virtual std::string name() const = 0;
+
+ protected:
+  virtual tensor::FlatVec do_aggregate(const std::vector<ClientUpdate>& updates,
+                                       std::span<const float> global,
+                                       runtime::ThreadPool* pool) = 0;
 };
 
 // Plain (weighted) averaging — Algorithm 1 line 14 with uniform weights.
 class FedAvgAggregator : public Aggregator {
  public:
-  tensor::FlatVec aggregate(const std::vector<ClientUpdate>& updates,
-                            std::span<const float> global) override;
   std::string name() const override { return "fedavg"; }
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
 };
 
 }  // namespace collapois::fl

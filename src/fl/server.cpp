@@ -311,7 +311,9 @@ RoundTelemetry Server::run_round(const std::vector<Client*>& clients) {
     return t;
   }
 
-  t.aggregated = agg_->aggregate(t.updates, params_);
+  const auto agg_start = std::chrono::steady_clock::now();
+  t.aggregated = agg_->aggregate(t.updates, params_, config_.pool);
+  t.agg_ms = ms_since(agg_start);
   if (t.aggregated.size() != params_.size() || !all_finite(t.aggregated)) {
     // An aggregator that emits garbage from well-formed inputs is treated
     // like a failed cohort: quarantine the round, not the process.

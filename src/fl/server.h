@@ -100,6 +100,10 @@ struct RoundTelemetry {
   // feeds back into the protocol.
   double wall_ms = 0.0;
   double train_ms = 0.0;
+  // Wall-clock of the server-side aggregation call alone (the defense hot
+  // path bench_defense_throughput measures); 0 when the round was skipped
+  // before aggregating.
+  double agg_ms = 0.0;
   // Clients that computed an update this round (accepted + quarantined;
   // dropouts never compute) divided by train_ms — the throughput number
   // bench_runtime_scaling sweeps.

@@ -1,0 +1,30 @@
+#include "fl/update_matrix.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace collapois::fl {
+
+UpdateMatrix::UpdateMatrix(const std::vector<ClientUpdate>& updates) {
+  if (updates.empty()) {
+    throw std::invalid_argument("UpdateMatrix: no updates");
+  }
+  n_ = updates.size();
+  d_ = updates.front().delta.size();
+  data_.resize(n_ * d_);
+  sqnorm_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto& delta = updates[i].delta;
+    if (delta.size() != d_) {
+      throw std::invalid_argument("UpdateMatrix: dimension mismatch");
+    }
+    if (d_ > 0) {
+      std::memcpy(data_.data() + i * d_, delta.data(), d_ * sizeof(float));
+    }
+    double s = 0.0;
+    for (float x : delta) s += static_cast<double>(x) * static_cast<double>(x);
+    sqnorm_[i] = s;
+  }
+}
+
+}  // namespace collapois::fl

@@ -1,0 +1,53 @@
+// The round's accepted client updates as one dense row-major [n x d]
+// matrix, assembled once per aggregation from the ClientUpdate list.
+//
+// Every server-side defense is linear algebra over this matrix: the
+// distance-based rules (Krum, FLARE) need A * A^T for the Gram-identity
+// pairwise distances, and the coordinate-wise rules (median, trimmed
+// mean, RLR, SignSGD) need contiguous column tiles. Packing the updates
+// into one contiguous buffer costs a single O(n d) copy and buys both:
+// GEMM-able storage plus cache-friendly tile transposes, instead of the
+// per-pair scalar loops and per-coordinate strided gathers across n
+// separate heap vectors the defenses used to do (see DESIGN.md §10).
+//
+// Row squared norms are precomputed with double accumulation — they feed
+// the Gram identity ||a_i - a_j||^2 = ||a_i||^2 + ||a_j||^2 - 2 G_ij.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fl/update.h"
+
+namespace collapois::fl {
+
+class UpdateMatrix {
+ public:
+  UpdateMatrix() = default;
+
+  // Packs updates[i].delta into row i. Throws if the list is empty or the
+  // deltas disagree in dimension (the server validates upstream; direct
+  // users get the same loud failure).
+  explicit UpdateMatrix(const std::vector<ClientUpdate>& updates);
+
+  std::size_t rows() const { return n_; }
+  std::size_t cols() const { return d_; }
+
+  // Contiguous row-major [rows x cols] storage.
+  const float* data() const { return data_.data(); }
+  std::span<const float> row(std::size_t i) const {
+    return {data_.data() + i * d_, d_};
+  }
+
+  // Double-accumulated ||row i||^2.
+  double row_sqnorm(std::size_t i) const { return sqnorm_[i]; }
+  const std::vector<double>& row_sqnorms() const { return sqnorm_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t d_ = 0;
+  std::vector<float> data_;
+  std::vector<double> sqnorm_;
+};
+
+}  // namespace collapois::fl

@@ -51,6 +51,10 @@ std::uint64_t config_fingerprint(const ExperimentConfig& c) {
   // different float rounding, so resuming a checkpoint under the other
   // set would silently splice two numerically different trajectories.
   h = mix(h, static_cast<std::uint64_t>(c.kernels));
+  // Same rationale for the defense-kernel set: Krum/FLARE distances round
+  // differently under the gram-based fast path than under the naive
+  // loops, so a checkpoint is pinned to the impl it was written under.
+  h = mix(h, static_cast<std::uint64_t>(c.defense_impl));
   // cfg.rounds is deliberately excluded: resuming with a larger round
   // budget than the checkpointed run is a supported way to extend an
   // experiment. cfg.threads is excluded too: the parallel runtime is

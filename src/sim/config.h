@@ -12,6 +12,7 @@
 #include "attacks/mrepl.h"
 #include "core/collapois_client.h"
 #include "core/trojan_trainer.h"
+#include "defense/defense_kernels.h"
 #include "defense/registry.h"
 #include "fl/faults.h"
 #include "kernels/kernels.h"
@@ -120,6 +121,15 @@ struct ExperimentConfig {
   // kernel kind IS part of the checkpoint fingerprint; a checkpoint
   // written under one set cannot resume under the other.
   kernels::KernelKind kernels = kernels::KernelKind::blocked;
+
+  // Defense-kernel set for the robust-aggregation hot loops
+  // (src/defense/defense_kernels.h): `fast` (GEMM-based pairwise
+  // distances + tiled coordinate rules, the default) or `naive` (the
+  // sequential reference loops). The coordinate-wise rules are
+  // bit-identical across sets, but the distance-based ones (Krum, FLARE)
+  // round differently, so the impl is part of the checkpoint fingerprint
+  // like `kernels`.
+  defense::DefenseImpl defense_impl = defense::DefenseImpl::fast;
 
   std::uint64_t seed = 42;
 };

@@ -105,6 +105,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   // Select the compute-kernel set before any client math runs (and before
   // the pool spawns — workers only ever read the registry).
   kernels::set_active_kernels(cfg.kernels);
+  defense::set_active_defense_impl(cfg.defense_impl);
 
   // Parallel runtime: one pool for the whole experiment (round-loop
   // client dispatch + evaluation sweeps). Created before the algorithm so
@@ -403,6 +404,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     rec.transport = telemetry.transport;
     rec.wall_ms = telemetry.wall_ms;
     rec.train_ms = telemetry.train_ms;
+    rec.agg_ms = telemetry.agg_ms;
     rec.clients_per_sec = telemetry.clients_per_sec;
     if (!result.trojaned_model.empty() &&
         cfg.algorithm != AlgorithmKind::metafed) {

@@ -43,6 +43,8 @@ struct RoundRecord {
   // comparisons or checkpoints.
   double wall_ms = 0.0;
   double train_ms = 0.0;
+  // The server-side aggregation slice of wall_ms (the defense hot path).
+  double agg_ms = 0.0;
   double clients_per_sec = 0.0;
 };
 

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "kernels/kernels.h"
+#include "runtime/parallel.h"
+
 namespace collapois::stats {
 
 namespace {
@@ -70,6 +73,79 @@ double cosine_similarity(std::span<const double> a,
   const double nb = l2_norm(b);
   if (na <= 0.0 || nb <= 0.0) return 0.0;
   return std::clamp(dot(a, b) / (na * nb), -1.0, 1.0);
+}
+
+void pairwise_sq_distances_naive(const float* rows, std::size_t n,
+                                 std::size_t d, double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i * n + i] = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const float* a = rows + i * d;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const float* b = rows + j * d;
+      double s = 0.0;
+      for (std::size_t p = 0; p < d; ++p) {
+        const double diff =
+            static_cast<double>(a[p]) - static_cast<double>(b[p]);
+        s += diff * diff;
+      }
+      out[i * n + j] = out[j * n + i] = s;
+    }
+  }
+}
+
+namespace {
+
+// Row-block edge for the Gram decomposition. Fixed (never derived from
+// the pool size) so the set of GEMM calls — and therefore every float —
+// is a pure function of n.
+constexpr std::size_t kGramBlock = 64;
+
+}  // namespace
+
+void pairwise_sq_distances_gram(const float* rows, std::size_t n,
+                                std::size_t d, const double* row_sqnorms,
+                                double* out, runtime::ThreadPool* pool) {
+  const std::size_t n_blocks = (n + kGramBlock - 1) / kGramBlock;
+  // Upper-triangle block pairs (bi <= bj), each an independent task
+  // writing the disjoint [bi, bj] and mirrored [bj, bi] regions of `out`.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(n_blocks * (n_blocks + 1) / 2);
+  for (std::size_t bi = 0; bi < n_blocks; ++bi) {
+    for (std::size_t bj = bi; bj < n_blocks; ++bj) pairs.emplace_back(bi, bj);
+  }
+  // The Gram product always runs on the blocked kernel set: this helper
+  // IS the fast path (the registry's naive defense set routes to the
+  // scalar loops above), so it must not degrade when an experiment
+  // selects --kernels naive for the NN substrate.
+  const kernels::KernelOps& ops =
+      kernels::ops_for(kernels::KernelKind::blocked);
+  runtime::parallel_for(pool, pairs.size(), [&](std::size_t t) {
+    const auto [bi, bj] = pairs[t];
+    const std::size_t i0 = bi * kGramBlock;
+    const std::size_t j0 = bj * kGramBlock;
+    const std::size_t mi = std::min(kGramBlock, n - i0);
+    const std::size_t mj = std::min(kGramBlock, n - j0);
+    // G = A_I * A_J^T for this block pair, accumulated by the blocked
+    // GEMM into a zeroed scratch tile.
+    std::vector<float> g(mi * mj, 0.0f);
+    ops.gemm_a_bt_accum(rows + i0 * d, rows + j0 * d, g.data(), mi, d, mj,
+                        nullptr, nullptr);
+    for (std::size_t i = 0; i < mi; ++i) {
+      const std::size_t gi = i0 + i;
+      for (std::size_t j = 0; j < mj; ++j) {
+        const std::size_t gj = j0 + j;
+        if (gj == gi) {
+          out[gi * n + gi] = 0.0;
+          continue;
+        }
+        const double d2 =
+            std::max(0.0, row_sqnorms[gi] + row_sqnorms[gj] -
+                              2.0 * static_cast<double>(g[i * mj + j]));
+        out[gi * n + gj] = d2;
+        if (bi != bj) out[gj * n + gi] = d2;
+      }
+    }
+  });
 }
 
 std::vector<double> pairwise_angles(

@@ -90,6 +90,42 @@ FlatVec weighted_mean_of(const std::vector<FlatVec>& vs,
   return out;
 }
 
+FlatVec mean_of(std::span<const std::span<const float>> vs) {
+  if (vs.empty()) throw std::invalid_argument("mean_of: empty set");
+  std::vector<double> acc(vs[0].size(), 0.0);
+  for (const auto& v : vs) {
+    check_same(acc.size(), v.size());
+    kernels::weighted_accumulate(acc.data(), 1.0, v.data(), acc.size());
+  }
+  FlatVec out(acc.size());
+  kernels::scaled_round(acc.data(), 1.0 / static_cast<double>(vs.size()),
+                        out.data(), acc.size());
+  return out;
+}
+
+FlatVec weighted_mean_of(std::span<const std::span<const float>> vs,
+                         std::span<const double> weights) {
+  if (vs.empty()) throw std::invalid_argument("weighted_mean_of: empty set");
+  check_same(vs.size(), weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_mean_of: w < 0");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_mean_of: weights sum to zero");
+  }
+  std::vector<double> acc(vs[0].size(), 0.0);
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    check_same(acc.size(), vs[i].size());
+    kernels::weighted_accumulate(acc.data(), weights[i], vs[i].data(),
+                                 acc.size());
+  }
+  FlatVec out(acc.size());
+  kernels::scaled_round(acc.data(), 1.0 / total, out.data(), acc.size());
+  return out;
+}
+
 double clip_l2_inplace(FlatVec& v, double bound) {
   if (bound <= 0.0) throw std::invalid_argument("clip_l2: bound must be > 0");
   const double n = stats::l2_norm(v);

@@ -39,6 +39,14 @@ FlatVec mean_of(const std::vector<FlatVec>& vs);
 FlatVec weighted_mean_of(const std::vector<FlatVec>& vs,
                          std::span<const double> weights);
 
+// View-based overloads: identical numerics over borrowed rows (e.g. the
+// rows of an fl::UpdateMatrix, or spans straight into ClientUpdate
+// deltas), so aggregation code never has to deep-copy vectors just to
+// average them.
+FlatVec mean_of(std::span<const std::span<const float>> vs);
+FlatVec weighted_mean_of(std::span<const std::span<const float>> vs,
+                         std::span<const double> weights);
+
 // If ||v||_2 > bound, rescale v to have norm `bound`; otherwise unchanged.
 // Returns the factor applied (1 when unchanged).
 double clip_l2_inplace(FlatVec& v, double bound);

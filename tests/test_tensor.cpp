@@ -88,7 +88,7 @@ TEST(VecOps, Means) {
   EXPECT_EQ(mean_of(vs), (FlatVec{1.0f, 1.0f}));
   const std::vector<double> w = {3.0, 1.0};
   EXPECT_EQ(weighted_mean_of(vs, w), (FlatVec{1.5f, 0.5f}));
-  EXPECT_THROW(mean_of({}), std::invalid_argument);
+  EXPECT_THROW(mean_of(std::vector<FlatVec>{}), std::invalid_argument);
   const std::vector<double> zero = {0.0, 0.0};
   EXPECT_THROW(weighted_mean_of(vs, zero), std::invalid_argument);
 }
