@@ -71,6 +71,20 @@ implies --net):
                            sample ceil((1+F)*k), aggregate first k [0]
   --net-seed N             transport decision seed
 
+round engine (DESIGN.md paragraph 11; every --async-* flag implies
+--round-engine buffered_async):
+  --round-engine NAME      sync | buffered_async                   [sync]
+                           (sync = barrier rounds, bit-exact with
+                           the pre-engine loop; buffered_async =
+                           event-driven cycles on the virtual clock)
+  --async-k N              aggregate every N admitted updates;
+                           0 disables the count trigger            [8]
+  --async-t-ms F           ... or every F virtual ms since the
+                           last aggregation, finite >= 0;
+                           0 disables the time trigger             [0]
+  --async-max-staleness N  discard updates more than N rounds
+                           stale (compute lag + buffer lag)        [8]
+
 checkpoint/resume (bit-exact; sim/checkpoint.h):
   --checkpoint PATH --checkpoint-round N   halt after N rounds, save
   --resume PATH                            restore and run to --rounds
@@ -231,6 +245,17 @@ int main(int argc, char** argv) {
       } else if (flag == "--net-seed") {
         cfg.net.seed = parse_count(flag, value());
         cfg.net.enabled = true;
+      } else if (flag == "--round-engine") {
+        cfg.round_engine = fl::parse_round_engine(value());
+      } else if (flag == "--async-k") {
+        cfg.async.k = parse_count(flag, value());
+        cfg.round_engine = fl::RoundEngineKind::buffered_async;
+      } else if (flag == "--async-t-ms") {
+        cfg.async.t_ms = parse_nonneg(flag, value());
+        cfg.round_engine = fl::RoundEngineKind::buffered_async;
+      } else if (flag == "--async-max-staleness") {
+        cfg.async.max_staleness = parse_count(flag, value());
+        cfg.round_engine = fl::RoundEngineKind::buffered_async;
       } else if (flag == "--checkpoint") {
         opts.checkpoint_save_path = value();
       } else if (flag == "--checkpoint-round") {

@@ -89,12 +89,26 @@ void FaultModel::observe_global(std::size_t round,
     return;  // nothing will ever read the history
   }
   const std::lock_guard<std::mutex> lock(mu_);
-  if (history_.count(round) != 0) return;
-  history_.emplace(round, tensor::FlatVec(global.begin(), global.end()));
-  // Keep straggler_staleness + 1 rounds: enough for the deepest lookback.
-  while (history_.size() > config_.straggler_staleness + 1) {
-    history_.erase(history_.begin());
+  if (round > max_round_seen_) max_round_seen_ = round;
+  // Watermark pruning (see faults.h): drop everything strictly older than
+  // the deepest lookback any straggler — or any buffered in-flight update
+  // — can still reach from the newest round seen. A late observation for
+  // a round below the watermark is NOT recorded: it is already
+  // unreachable, and inserting it would only recreate the stale entry the
+  // watermark just removed.
+  const std::size_t window = config_.straggler_staleness + extra_retention_;
+  const std::size_t watermark =
+      max_round_seen_ > window ? max_round_seen_ - window : 0;
+  if (round < watermark) return;
+  if (history_.count(round) == 0) {
+    history_.emplace(round, tensor::FlatVec(global.begin(), global.end()));
   }
+  history_.erase(history_.begin(), history_.lower_bound(watermark));
+}
+
+void FaultModel::set_extra_retention(std::size_t rounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  extra_retention_ = rounds;
 }
 
 const tensor::FlatVec& FaultModel::stale_global(
@@ -138,6 +152,9 @@ void FaultModel::load_state(StateReader& r) {
     const std::size_t round = r.read_size();
     history_.emplace(round, r.read_floats());
   }
+  // The watermark is derived state: re-anchor it to the restored history
+  // instead of serializing it, keeping the blob format unchanged.
+  max_round_seen_ = history_.empty() ? 0 : history_.rbegin()->first;
 }
 
 FaultyClient::FaultyClient(std::unique_ptr<Client> inner,

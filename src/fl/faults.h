@@ -86,9 +86,24 @@ class FaultModel {
   // The fault assignment for this cell (pure function of config + seed).
   FaultKind decide(std::size_t client_id, std::size_t round) const;
 
-  // Record the broadcast global model of `round` (first caller wins;
-  // history is bounded to straggler_staleness + 1 rounds).
+  // Record the broadcast global model of `round` (first caller wins).
+  // History is pruned by a virtual-clock WATERMARK, not by size: entries
+  // older than max_observed_round - (straggler_staleness + extra
+  // retention) are discarded. Size-based pruning is wrong under the
+  // buffered-async engine, where cohorts overlap and observe_global()
+  // calls arrive out of round order: a late observation from an older
+  // in-flight cohort would evict a round a deeper straggler still needs
+  // (or be evicted itself immediately, silently shrinking the lookback).
+  // The watermark only ever moves forward, so late observations of
+  // still-relevant rounds are retained and already-pruned rounds stay
+  // pruned. For the monotone round sequence of the sync engine the
+  // retained set is identical to the old size bound.
   void observe_global(std::size_t round, std::span<const float> global);
+
+  // Widen the pruning window by `rounds` beyond straggler_staleness. The
+  // async runner sets this to its staleness cutoff so stale-model history
+  // survives as long as an update can legally sit in the buffer.
+  void set_extra_retention(std::size_t rounds);
 
   // The stale view a straggler at `round` trains against: the recorded
   // global of round - k (or the oldest available; the current round's
@@ -107,6 +122,11 @@ class FaultModel {
   // the const read paths can lock).
   mutable std::mutex mu_;
   std::map<std::size_t, tensor::FlatVec> history_;  // round -> global
+  // Pruning watermark inputs: the newest round ever observed (monotone;
+  // re-derived from the history on load, so checkpoint blobs are
+  // unchanged) and the extra retention window for overlapping cohorts.
+  std::size_t max_round_seen_ = 0;
+  std::size_t extra_retention_ = 0;
 };
 
 // Decorator that subjects an inner client to the shared fault model.

@@ -1,0 +1,140 @@
+// Round engines: the event-driven schedulers that drive Server::run_round.
+//
+// The synchronous round loop the paper evaluates is one instantiation of
+// a more general scheduler; production cross-device FL ("Back to the
+// Drawing Board", Bonawitz et al.) runs the OTHER one — a buffered
+// asynchronous server that admits updates continuously and aggregates
+// whatever arrived, degrading gracefully instead of stalling on
+// stragglers. Both are implemented here against the same server state:
+//
+//  - SyncRoundEngine: the barrier loop, moved verbatim from the old
+//    Server::run_round. Sample -> train -> (transport) -> validate ->
+//    aggregate, one cohort per round, every fate resolved before the
+//    round ends. Bit-exact with the pre-engine code path, serializes no
+//    private state.
+//
+//  - BufferedAsyncRoundEngine: one CYCLE per run_round call on the
+//    virtual clock (net/event_queue.h).
+//      1. sample a cohort (same sequential Bernoulli draws as sync) and
+//         train it in parallel against the CURRENT global model;
+//      2. push each computed update through the transport; deliveries
+//         are enqueued as future events at (dispatch time + delivery
+//         latency) — dropouts and exhausted retries resolve immediately;
+//      3. drain the buffer in (virtual arrival time, launch round,
+//         sampling index) order, admitting updates until K have been
+//         admitted or the aggregation deadline (previous aggregation +
+//         T virtual-ms) passes — whichever trigger fires first
+//         (AsyncConfig); updates left in the buffer stay in flight into
+//         later cycles, so cohorts overlap;
+//      4. weight each admitted update by the staleness-damping rule
+//         generalized from the quarantine machinery (fl/faults.h):
+//         weight /= 1 + total_staleness, where total staleness = compute
+//         straggler lag + rounds spent in the buffer. Updates staler
+//         than AsyncConfig::max_staleness are discarded
+//         (DropReason::stale_discarded);
+//      5. aggregate and apply; an empty admission set skips the model
+//         update but still advances the clock — churn degrades
+//         throughput smoothly, it never wedges the experiment.
+//    The engine has no round deadline (a late update is damped or
+//    discarded by staleness, not raced against a barrier), so the
+//    transport's deadline_ms is neutralized; over-provisioned sampling
+//    is likewise a barrier-world concept and is not applied.
+//
+// Determinism: sampling draws are sequential; training results are
+// collected by sampling index; arrivals are ordered by the total key
+// (virtual time, launch round, sampling index). Every admission sequence
+// is therefore a pure function of the experiment config — bit-identical
+// across thread counts — and the buffer serializes in key order, so a
+// checkpoint can land mid-buffer and resume exactly (DESIGN.md §11).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fl/server.h"
+#include "net/event_queue.h"
+
+namespace collapois::fl {
+
+class RoundEngine {
+ public:
+  virtual ~RoundEngine() = default;
+
+  // Execute one round (sync) / one cycle (buffered_async) against the
+  // server's state and population.
+  virtual RoundTelemetry run_round(Server& server,
+                                   const std::vector<Client*>& clients) = 0;
+
+  virtual const char* name() const = 0;
+
+  // Engine-private mutable state (the async buffer and virtual clock);
+  // the sync engine writes nothing, keeping sync checkpoints
+  // byte-identical with the pre-engine format.
+  virtual void save_state(StateWriter& w) const = 0;
+  virtual void load_state(StateReader& r) = 0;
+
+ protected:
+  // Engines are the only callers allowed inside the server; access is
+  // funneled through these so Server befriends exactly one type.
+  static tensor::FlatVec& params(Server& s) { return s.params_; }
+  static Aggregator& aggregator(Server& s) { return *s.agg_; }
+  static const ServerConfig& config(const Server& s) { return s.config_; }
+  static stats::Rng& rng(Server& s) { return s.rng_; }
+  static std::size_t& round(Server& s) { return s.round_; }
+};
+
+// The barrier loop (pre-engine behavior, bit-exact).
+class SyncRoundEngine final : public RoundEngine {
+ public:
+  RoundTelemetry run_round(Server& server,
+                           const std::vector<Client*>& clients) override;
+  const char* name() const override { return "sync"; }
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+};
+
+// The buffered asynchronous scheduler described above.
+class BufferedAsyncRoundEngine final : public RoundEngine {
+ public:
+  // Validates the knobs: at least one of k / t_ms must be an active
+  // trigger, t_ms finite and non-negative.
+  explicit BufferedAsyncRoundEngine(AsyncConfig async);
+
+  RoundTelemetry run_round(Server& server,
+                           const std::vector<Client*>& clients) override;
+  const char* name() const override { return "buffered_async"; }
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
+  // Observability for tests: pending in-flight updates and the clock.
+  std::size_t buffered() const { return buffer_.size(); }
+  double virtual_now_ms() const { return clock_.now_ms; }
+
+ private:
+  // One in-flight update: the population index locates the client (for
+  // the compromised flag at admission), the launch round dates the model
+  // it was computed against, and the update is the decoded wire copy.
+  struct Pending {
+    std::size_t client_index = 0;
+    ClientUpdate update;
+  };
+
+  // Deadline-free twin of the server's network model, built lazily from
+  // its config: transmit() is a pure function of (config, client, round,
+  // attempt), so decisions — loss, corruption, latency — are IDENTICAL to
+  // the sync engine's; only the round-deadline cut is neutralized (the
+  // async engine has no round to close; staleness governs instead).
+  const net::NetworkModel* relaxed_net(const Server& s);
+
+  AsyncConfig async_;
+  net::VirtualClock clock_;
+  double last_agg_ms_ = 0.0;
+  net::EventQueue<Pending> buffer_;
+  std::unique_ptr<net::NetworkModel> relaxed_net_;
+};
+
+// Factory used by the Server constructor.
+std::unique_ptr<RoundEngine> make_round_engine(RoundEngineKind kind,
+                                               const AsyncConfig& async);
+
+}  // namespace collapois::fl

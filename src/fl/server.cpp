@@ -1,59 +1,10 @@
 #include "fl/server.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <optional>
 #include <stdexcept>
 
-#include "net/envelope.h"
-#include "runtime/parallel.h"
+#include "fl/round_engine.h"
 
 namespace collapois::fl {
-
-namespace {
-
-// Validation verdict for one incoming update. Checks cheapest-first:
-// dimension, finiteness, then the optional norm ceiling.
-bool validate_update(const ClientUpdate& u, std::size_t dim,
-                     double norm_ceiling, RejectReason* reason) {
-  if (u.delta.size() != dim) {
-    *reason = RejectReason::dim_mismatch;
-    return false;
-  }
-  double sq = 0.0;
-  for (float x : u.delta) {
-    if (!std::isfinite(x)) {
-      *reason = RejectReason::non_finite;
-      return false;
-    }
-    sq += static_cast<double>(x) * static_cast<double>(x);
-  }
-  if (!std::isfinite(u.weight) || u.weight < 0.0) {
-    *reason = RejectReason::non_finite;
-    return false;
-  }
-  if (norm_ceiling > 0.0 && std::sqrt(sq) > norm_ceiling) {
-    *reason = RejectReason::norm_exceeded;
-    return false;
-  }
-  return true;
-}
-
-bool all_finite(std::span<const float> v) {
-  for (float x : v) {
-    if (!std::isfinite(x)) return false;
-  }
-  return true;
-}
-
-double ms_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-}  // namespace
 
 const char* reject_reason_name(RejectReason reason) {
   switch (reason) {
@@ -70,6 +21,7 @@ const char* drop_reason_name(DropReason reason) {
     case DropReason::transport: return "transport";
     case DropReason::deadline: return "deadline";
     case DropReason::excess: return "excess";
+    case DropReason::stale_discarded: return "stale-discarded";
   }
   return "unknown";
 }
@@ -88,244 +40,13 @@ Server::Server(tensor::FlatVec initial_params, std::unique_ptr<Aggregator> agg,
   if (config_.update_norm_ceiling < 0.0) {
     throw std::invalid_argument("Server: negative update_norm_ceiling");
   }
+  engine_ = make_round_engine(config_.engine, config_.async);
 }
 
+Server::~Server() = default;
+
 RoundTelemetry Server::run_round(const std::vector<Client*>& clients) {
-  if (clients.empty()) throw std::invalid_argument("run_round: no clients");
-  const auto round_start = std::chrono::steady_clock::now();
-
-  RoundTelemetry t;
-  t.round = round_;
-
-  const bool net_on = config_.net != nullptr && config_.net->config().enabled;
-
-  // Sampling consumes exactly one Bernoulli draw per client, in client
-  // order, regardless of thread count — the sampling stream is part of
-  // the checkpointable state and must not depend on the pool. The null
-  // check is folded into the same pass and applied only to clients that
-  // were actually sampled (no separate O(population) validation pre-pass
-  // per round; ServerAlgorithm already rejects nulls at construction).
-  std::vector<std::size_t> picked;
-  for (std::size_t i = 0; i < clients.size(); ++i) {
-    if (rng_.bernoulli(config_.sample_prob)) {
-      if (clients[i] == nullptr) {
-        throw std::invalid_argument("run_round: null client");
-      }
-      picked.push_back(i);
-    }
-  }
-  if (picked.empty()) {
-    // Guarantee progress: sample one client uniformly.
-    const std::size_t i =
-        static_cast<std::size_t>(rng_.uniform_int(clients.size()));
-    if (clients[i] == nullptr) {
-      throw std::invalid_argument("run_round: null client");
-    }
-    picked.push_back(i);
-  }
-  // The target cohort size k: over-provisioned extras below raise the
-  // number of clients that TRAIN, but the server still aggregates at most
-  // k arrivals. With the transport disabled k == cohort and nothing here
-  // consumes RNG draws, so the sampling stream is unchanged from the
-  // pre-transport code path.
-  const std::size_t target_cohort = picked.size();
-  if (net_on && config_.net->config().over_sample > 0.0 &&
-      picked.size() < clients.size()) {
-    const auto want = static_cast<std::size_t>(std::ceil(
-        (1.0 + config_.net->config().over_sample) *
-        static_cast<double>(target_cohort)));
-    std::vector<char> in_cohort(clients.size(), 0);
-    for (std::size_t i : picked) in_cohort[i] = 1;
-    std::vector<std::size_t> complement;
-    complement.reserve(clients.size() - picked.size());
-    for (std::size_t i = 0; i < clients.size(); ++i) {
-      if (!in_cohort[i]) complement.push_back(i);
-    }
-    const std::size_t extras =
-        std::min(want - target_cohort, complement.size());
-    std::vector<std::size_t> drawn =
-        rng_.sample_without_replacement(complement.size(), extras);
-    // Extras join in client-id order after the base cohort so the
-    // dispatch/reduction order is a pure function of WHO was sampled.
-    std::sort(drawn.begin(), drawn.end());
-    for (std::size_t d : drawn) {
-      const std::size_t i = complement[d];
-      if (clients[i] == nullptr) {
-        throw std::invalid_argument("run_round: null client");
-      }
-      picked.push_back(i);
-    }
-  }
-  std::vector<Client*> sampled;
-  sampled.reserve(picked.size());
-  for (std::size_t i : picked) sampled.push_back(clients[i]);
-  t.cohort_size = sampled.size();
-
-  // Dispatch: each sampled client's local training is an independent task
-  // (per-client RNG streams and scratch models). Results land in
-  // `incoming` by sampling index, so the validation/quarantine/reduction
-  // loop below sees the same updates in the same order for any pool size.
-  RoundContext ctx{round_, params_};
-  const auto train_start = std::chrono::steady_clock::now();
-  std::vector<ClientUpdate> incoming = runtime::parallel_map(
-      config_.pool, sampled.size(),
-      [&](std::size_t i) { return sampled[i]->compute_update(ctx); });
-  t.train_ms = ms_since(train_start);
-
-  // Transport stage: every computed update is enveloped and sent across
-  // the simulated network. Deliveries are sorted by (virtual arrival
-  // time, sampling index) and the first `target_cohort` intact
-  // in-deadline arrivals make the round; the rest are excess. The
-  // accepted updates are the DECODED WIRE COPIES (bit-exact codec), and
-  // the accounting loop below still walks sampling order — arrival order
-  // only decides WHO is in, never the reduction order, so the aggregate
-  // stays bit-identical across thread counts. Decisions are counter-based
-  // per (client, round, attempt), so running transmit() sequentially here
-  // costs O(cohort) hash draws — noise next to local training.
-  enum class Fate : unsigned char { none, accepted, transport, deadline, excess };
-  std::vector<Fate> fate(sampled.size(), Fate::none);
-  if (net_on) {
-    struct Arrival {
-      double arrival_ms;
-      std::size_t index;  // sampling index, the tie-break
-    };
-    std::vector<Arrival> arrivals;
-    std::vector<std::optional<ClientUpdate>> wire(sampled.size());
-    for (std::size_t i = 0; i < sampled.size(); ++i) {
-      if (incoming[i].status == UpdateStatus::dropped) continue;
-      const net::Envelope env = net::encode_update(incoming[i], round_);
-      net::Delivery d = config_.net->transmit(sampled[i]->id(), round_, env,
-                                              &t.transport);
-      switch (d.status) {
-        case net::DeliveryStatus::delivered:
-          arrivals.push_back({d.arrival_ms, i});
-          wire[i] = std::move(d.update);
-          break;
-        case net::DeliveryStatus::late:
-          fate[i] = Fate::deadline;
-          ++t.transport.deadline_dropped;
-          break;
-        case net::DeliveryStatus::lost:
-          fate[i] = Fate::transport;
-          ++t.transport.transport_dropped;
-          break;
-      }
-    }
-    std::sort(arrivals.begin(), arrivals.end(),
-              [](const Arrival& a, const Arrival& b) {
-                return a.arrival_ms != b.arrival_ms ? a.arrival_ms < b.arrival_ms
-                                                    : a.index < b.index;
-              });
-    for (std::size_t j = 0; j < arrivals.size(); ++j) {
-      const std::size_t i = arrivals[j].index;
-      if (j < target_cohort) {
-        fate[i] = Fate::accepted;
-        incoming[i] = std::move(*wire[i]);
-      } else {
-        fate[i] = Fate::excess;
-        ++t.transport.excess_dropped;
-      }
-    }
-    if (!arrivals.empty()) {
-      // Nearest-rank quantiles over ALL intact in-deadline arrivals
-      // (excess included — they did arrive; acceptance is a server-side
-      // cut, not a network property).
-      const auto rank = [&](double q) {
-        const auto n = static_cast<double>(arrivals.size());
-        auto r = static_cast<std::size_t>(std::ceil(q * n));
-        if (r > 0) --r;
-        return arrivals[std::min(r, arrivals.size() - 1)].arrival_ms;
-      };
-      t.transport.arrival_p50_ms = rank(0.50);
-      t.transport.arrival_p90_ms = rank(0.90);
-      t.transport.arrival_max_ms = arrivals.back().arrival_ms;
-    }
-  }
-
-  std::size_t n_trained = 0;
-  for (std::size_t i = 0; i < sampled.size(); ++i) {
-    Client* c = sampled[i];
-    ClientUpdate u = std::move(incoming[i]);
-    if (u.status == UpdateStatus::dropped) {
-      t.dropped_ids.push_back(c->id());
-      t.drop_reasons.push_back(DropReason::compute);
-      continue;
-    }
-    ++n_trained;
-    if (net_on && fate[i] != Fate::accepted) {
-      // The update was computed but never aggregated: charge exactly one
-      // drop reason for the transport outcome.
-      t.dropped_ids.push_back(c->id());
-      switch (fate[i]) {
-        case Fate::transport:
-          t.drop_reasons.push_back(DropReason::transport);
-          break;
-        case Fate::deadline:
-          t.drop_reasons.push_back(DropReason::deadline);
-          break;
-        case Fate::excess:
-          t.drop_reasons.push_back(DropReason::excess);
-          break;
-        default:
-          throw std::logic_error("run_round: computed update with no fate");
-      }
-      continue;
-    }
-    RejectReason reason = RejectReason::non_finite;
-    if (!validate_update(u, params_.size(), config_.update_norm_ceiling,
-                         &reason)) {
-      t.rejected_ids.push_back(c->id());
-      t.reject_reasons.push_back(reason);
-      continue;
-    }
-    if (u.status == UpdateStatus::straggler) {
-      // Staleness damping: a k-round-late update moves the model with
-      // weight 1 / (1 + k) of a fresh one (FedAsync-style polynomial
-      // damping with exponent 1).
-      u.weight /= 1.0 + static_cast<double>(u.staleness);
-      ++t.n_stragglers;
-    }
-    t.sampled_ids.push_back(c->id());
-    t.compromised.push_back(c->is_compromised());
-    t.updates.push_back(std::move(u));
-  }
-  if (t.train_ms > 0.0) {
-    t.clients_per_sec =
-        static_cast<double>(n_trained) / (t.train_ms / 1000.0);
-  }
-
-  // Shared end-of-round bookkeeping for every exit path: fold this
-  // round's message counters into the model's checkpointed totals, then
-  // advance the round clock.
-  const auto finish_round = [&] {
-    if (net_on) config_.net->accumulate_round(t.transport);
-    ++round_;
-    t.wall_ms = ms_since(round_start);
-  };
-
-  if (t.updates.empty()) {
-    // Whole cohort failed: skip the round, leave the model untouched.
-    t.aggregate_skipped = true;
-    t.aggregated = tensor::zeros(params_.size());
-    finish_round();
-    return t;
-  }
-
-  const auto agg_start = std::chrono::steady_clock::now();
-  t.aggregated = agg_->aggregate(t.updates, params_, config_.pool);
-  t.agg_ms = ms_since(agg_start);
-  if (t.aggregated.size() != params_.size() || !all_finite(t.aggregated)) {
-    // An aggregator that emits garbage from well-formed inputs is treated
-    // like a failed cohort: quarantine the round, not the process.
-    t.aggregate_skipped = true;
-    t.aggregated = tensor::zeros(params_.size());
-    finish_round();
-    return t;
-  }
-  tensor::axpy_inplace(params_, -config_.learning_rate, t.aggregated);
-  agg_->post_update(params_);
-  finish_round();
-  return t;
+  return engine_->run_round(*this, clients);
 }
 
 void Server::save_state(StateWriter& w) const {
@@ -333,6 +54,7 @@ void Server::save_state(StateWriter& w) const {
   w.write_size(round_);
   w.write_rng(rng_);
   agg_->save_state(w);
+  engine_->save_state(w);
 }
 
 void Server::load_state(StateReader& r) {
@@ -340,6 +62,7 @@ void Server::load_state(StateReader& r) {
   round_ = r.read_size();
   r.read_rng(rng_);
   agg_->load_state(r);
+  engine_->load_state(r);
 }
 
 }  // namespace collapois::fl

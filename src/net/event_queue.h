@@ -1,0 +1,102 @@
+// Deterministic virtual-clock event queue for the asynchronous round
+// engine (fl/round_engine.h).
+//
+// The buffered-async server admits client updates as they arrive on the
+// simulated network's VIRTUAL clock — simulated milliseconds, unrelated
+// to wall time — so the order updates are admitted in must be a pure
+// function of the experiment, never of thread scheduling. The queue
+// therefore orders events by a TOTAL key:
+//
+//     (virtual time, launch round, sampling index)
+//
+// Two updates can share an arrival time (zero-latency transport, ties in
+// the uniform latency draw); the launch round and the sampling index —
+// both assigned sequentially at dispatch, before any parallelism — break
+// the tie deterministically. Popping always yields the unique minimum, so
+// the admission sequence is bit-identical for any thread count, and a
+// checkpoint serializes the pending events in exactly that order
+// (independent of the heap's internal layout, which the C++ standard
+// does not pin down across library implementations).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace collapois::net {
+
+// Monotone virtual clock: time only moves forward.
+struct VirtualClock {
+  double now_ms = 0.0;
+  void advance_to(double t_ms) {
+    if (t_ms > now_ms) now_ms = t_ms;
+  }
+};
+
+// Total-order key for one pending event. `round` is the cycle the update
+// was launched in; `seq` is its sampling index within that cycle.
+struct EventKey {
+  double time_ms = 0.0;
+  std::uint64_t round = 0;
+  std::uint64_t seq = 0;
+};
+
+inline bool operator<(const EventKey& a, const EventKey& b) {
+  if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+  if (a.round != b.round) return a.round < b.round;
+  return a.seq < b.seq;
+}
+
+// Min-heap of (key, payload) events under the total order above.
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    EventKey key;
+    Payload payload;
+  };
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  void push(EventKey key, Payload payload) {
+    heap_.push_back(Event{key, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+  }
+
+  // The earliest pending event (unique: the key order is total).
+  const Event& top() const { return heap_.front(); }
+
+  Event pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Event e = std::move(heap_.back());
+    heap_.pop_back();
+    return e;
+  }
+
+  void clear() { heap_.clear(); }
+
+  // Visit every pending event in key order without disturbing the queue —
+  // the serialization path, so checkpoints are byte-identical regardless
+  // of how the standard library arranged the heap internally.
+  template <typename Fn>
+  void for_each_sorted(Fn&& fn) const {
+    std::vector<const Event*> order;
+    order.reserve(heap_.size());
+    for (const Event& e : heap_) order.push_back(&e);
+    std::sort(order.begin(), order.end(),
+              [](const Event* a, const Event* b) { return a->key < b->key; });
+    for (const Event* e : order) fn(*e);
+  }
+
+ private:
+  // std::*_heap builds a MAX-heap under the comparator, so "later" on top
+  // of the comparator yields a min-heap on the key.
+  static bool later(const Event& a, const Event& b) { return b.key < a.key; }
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace collapois::net

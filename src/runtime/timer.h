@@ -1,0 +1,23 @@
+// Wall-clock timing helpers shared by the round engines and benches.
+//
+// Wall time here is observability, not state: it feeds the *_ms fields of
+// RoundTelemetry and the throughput benches, is never checkpointed, and
+// never influences protocol decisions (the simulator's scheduling runs on
+// the virtual clock in net/event_queue.h precisely so results stay
+// reproducible).
+#pragma once
+
+#include <chrono>
+
+namespace collapois::runtime {
+
+using WallInstant = std::chrono::steady_clock::time_point;
+
+inline WallInstant wall_now() { return std::chrono::steady_clock::now(); }
+
+inline double ms_since(WallInstant start) {
+  return std::chrono::duration<double, std::milli>(wall_now() - start)
+      .count();
+}
+
+}  // namespace collapois::runtime

@@ -12,7 +12,9 @@ namespace {
 
 constexpr std::uint64_t kMagic = 0x434f4c4c41504b54ULL;  // "COLLAPKT"
 // v2: net_fingerprint + net_state (the simulated transport layer).
-constexpr std::uint64_t kVersion = 2;
+// v3: engine_fingerprint (the round-engine selection; the engine's own
+//     mutable state rides inside algo_state via Server::save_state).
+constexpr std::uint64_t kVersion = 3;
 
 std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -84,12 +86,23 @@ std::uint64_t net_fingerprint(const net::NetConfig& c) {
   return h;
 }
 
+std::uint64_t engine_fingerprint(const ExperimentConfig& c) {
+  std::uint64_t h = 0x13198a2e03707344ULL;
+  h = mix(h, static_cast<std::uint64_t>(c.round_engine));
+  if (c.round_engine == fl::RoundEngineKind::sync) return h;
+  h = mix(h, c.async.k);
+  h = mix_double(h, c.async.t_ms);
+  h = mix(h, c.async.max_staleness);
+  return h;
+}
+
 void save_checkpoint_file(const std::string& path, const Checkpoint& ck) {
   fl::StateWriter w;
   w.write_u64(kMagic);
   w.write_u64(kVersion);
   w.write_u64(ck.fingerprint);
   w.write_u64(ck.net_fingerprint);
+  w.write_u64(ck.engine_fingerprint);
   w.write_size(ck.rounds_completed);
   for (std::uint64_t s : ck.run_rng.s) w.write_u64(s);
   w.write_double(ck.run_rng.cached_normal);
@@ -129,6 +142,7 @@ Checkpoint load_checkpoint_file(const std::string& path) {
   Checkpoint ck;
   ck.fingerprint = r.read_u64();
   ck.net_fingerprint = r.read_u64();
+  ck.engine_fingerprint = r.read_u64();
   ck.rounds_completed = r.read_size();
   for (std::uint64_t& s : ck.run_rng.s) s = r.read_u64();
   ck.run_rng.cached_normal = r.read_double();

@@ -33,6 +33,12 @@ struct Checkpoint {
   // network model fails with a transport-specific error message instead
   // of a generic config mismatch.
   std::uint64_t net_fingerprint = 0;
+  // Fingerprint of the round-engine selection and its knobs
+  // (engine_fingerprint below). Separate for the same reason as
+  // net_fingerprint: a sync checkpoint resumed under buffered_async (or
+  // under different K/T/staleness knobs) would splice two different
+  // schedules — the mismatch must fail loudly, naming the engine.
+  std::uint64_t engine_fingerprint = 0;
   std::size_t rounds_completed = 0;
   stats::Rng::State run_rng;
   // The attacker's shared Trojaned model (empty while unarmed).
@@ -56,6 +62,12 @@ std::uint64_t config_fingerprint(const ExperimentConfig& config);
 // irrelevant); enabled configs hash every decision-relevant field,
 // including the seed.
 std::uint64_t net_fingerprint(const net::NetConfig& config);
+
+// Hash of the round-engine selection. Every sync config maps to the same
+// fingerprint (the async knobs are inert under sync); buffered_async
+// configs hash the aggregation triggers and the staleness cutoff, since
+// any of them changes the admission schedule.
+std::uint64_t engine_fingerprint(const ExperimentConfig& config);
 
 void save_checkpoint_file(const std::string& path, const Checkpoint& ck);
 Checkpoint load_checkpoint_file(const std::string& path);

@@ -15,6 +15,7 @@
 #include "defense/defense_kernels.h"
 #include "defense/registry.h"
 #include "fl/faults.h"
+#include "fl/server.h"
 #include "kernels/kernels.h"
 #include "net/network_model.h"
 #include "nn/sgd.h"
@@ -102,6 +103,14 @@ struct ExperimentConfig {
   // Server-side quarantine ceiling on the L2 norm of incoming updates
   // (0 disables; malformed updates are always quarantined).
   double update_norm_ceiling = 0.0;
+  // Round engine (fl/round_engine.h): `sync` is the barrier loop the
+  // paper evaluates (the exact pre-engine code path); `buffered_async`
+  // admits updates as they arrive on the virtual clock and aggregates
+  // every async.k admissions or every async.t_ms virtual-ms with
+  // staleness-damped weights. Server-mediated algorithms only (MetaFed
+  // has no server round loop to schedule).
+  fl::RoundEngineKind round_engine = fl::RoundEngineKind::sync;
+  fl::AsyncConfig async;
 
   // Evaluation.
   std::size_t eval_every = 0;        // 0 = final round only

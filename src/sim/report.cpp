@@ -97,6 +97,21 @@ void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
          << ", \"arrival_p90_ms\": " << r.transport.arrival_p90_ms
          << ", \"arrival_max_ms\": " << r.transport.arrival_max_ms << "}";
     }
+    if (config.round_engine == fl::RoundEngineKind::buffered_async) {
+      // Per-cycle async block: launch/buffer occupancy, the virtual
+      // clock, stale discards, and the per-aggregation staleness
+      // histogram (staleness_hist[s] = admitted updates s rounds stale).
+      os << ", \"async\": {\"dispatched\": " << r.n_dispatched
+         << ", \"stale_discarded\": " << r.n_stale_discarded
+         << ", \"buffered\": " << r.n_buffered
+         << ", \"virtual_now_ms\": " << r.virtual_now_ms
+         << ", \"staleness_hist\": [";
+      for (std::size_t s = 0; s < r.staleness_hist.size(); ++s) {
+        if (s != 0) os << ", ";
+        os << r.staleness_hist[s];
+      }
+      os << "]}";
+    }
     if (r.population.has_value()) {
       os << ", \"benign_ac\": " << r.population->benign_ac
          << ", \"attack_sr\": " << r.population->attack_sr;

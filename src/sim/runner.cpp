@@ -253,6 +253,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
           "channel and does not apply to MetaFed");
     }
     fault_model = std::make_shared<fl::FaultModel>(cfg.faults);
+    if (cfg.round_engine == fl::RoundEngineKind::buffered_async) {
+      // Overlapping cohorts observe out of round order and buffered
+      // updates can legally be admitted up to max_staleness rounds after
+      // launch: widen the stale-model retention window accordingly.
+      fault_model->set_extra_retention(cfg.async.max_staleness + 1);
+    }
     for (auto& c : clients) {
       c = std::make_unique<fl::FaultyClient>(std::move(c), fault_model);
     }
@@ -272,6 +278,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   // --- federated algorithm ----------------------------------------------
   std::unique_ptr<fl::FlAlgorithm> algo;
   if (cfg.algorithm == AlgorithmKind::metafed) {
+    if (cfg.round_engine != fl::RoundEngineKind::sync) {
+      throw std::invalid_argument(
+          "run_experiment: the round engine schedules the server's round "
+          "loop and does not apply to MetaFed");
+    }
     fl::MetaFedConfig mcfg;
     mcfg.sample_prob = cfg.sample_prob;
     switch (cfg.defense) {
@@ -302,6 +313,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     scfg.update_norm_ceiling = cfg.update_norm_ceiling;
     scfg.pool = pool.get();
     scfg.net = net_model.get();
+    scfg.engine = cfg.round_engine;
+    scfg.async = cfg.async;
     algo = std::make_unique<fl::ServerAlgorithm>(
         std::string(algorithm_name(cfg.algorithm)),
         wb.architecture.get_parameters(), std::move(agg), scfg,
@@ -348,6 +361,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
           "over-sampling/seed) changed since the checkpoint; resume with "
           "the exact transport configuration the checkpoint was taken "
           "under");
+    }
+    if (ck.engine_fingerprint != engine_fingerprint(cfg)) {
+      throw std::invalid_argument(
+          "run_experiment: checkpoint was saved under a different round "
+          "engine — the engine kind (--round-engine) or a buffered-async "
+          "knob (--async-k/--async-t-ms/--async-max-staleness) changed "
+          "since the checkpoint; resume with the exact round-engine "
+          "configuration the checkpoint was taken under");
     }
     if (ck.rounds_completed > cfg.rounds) {
       throw std::invalid_argument(
@@ -402,6 +423,13 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     rec.aggregate_skipped = telemetry.aggregate_skipped;
     rec.cohort_size = telemetry.cohort_size;
     rec.transport = telemetry.transport;
+    for (fl::DropReason reason : telemetry.drop_reasons) {
+      if (reason == fl::DropReason::stale_discarded) ++rec.n_stale_discarded;
+    }
+    rec.n_dispatched = telemetry.n_dispatched;
+    rec.n_buffered = telemetry.n_buffered;
+    rec.virtual_now_ms = telemetry.virtual_now_ms;
+    rec.staleness_hist = telemetry.staleness_hist;
     rec.wall_ms = telemetry.wall_ms;
     rec.train_ms = telemetry.train_ms;
     rec.agg_ms = telemetry.agg_ms;
@@ -432,6 +460,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     Checkpoint ck;
     ck.fingerprint = config_fingerprint(cfg);
     ck.net_fingerprint = net_fingerprint(cfg.net);
+    ck.engine_fingerprint = engine_fingerprint(cfg);
     ck.rounds_completed = stop_round;
     ck.run_rng = rng.state();
     ck.trojaned_model = result.trojaned_model;

@@ -37,6 +37,15 @@ struct RoundRecord {
   std::size_t cohort_size = 0;
   net::TransportStats transport;
 
+  // Buffered-async accounting (see fl::RoundTelemetry; zero/empty under
+  // the sync engine except n_dispatched = cohort_size). n_stale_discarded
+  // counts the DropReason::stale_discarded slice of n_dropped.
+  std::size_t n_stale_discarded = 0;
+  std::size_t n_dispatched = 0;
+  std::size_t n_buffered = 0;
+  double virtual_now_ms = 0.0;
+  std::vector<std::size_t> staleness_hist;
+
   // Runtime telemetry (see fl::RoundTelemetry): round wall-clock, the
   // client-training slice of it, and trained-clients-per-second
   // throughput. Observability only — never part of determinism

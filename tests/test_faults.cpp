@@ -104,6 +104,88 @@ TEST(FaultModel, RejectsInvalidProbabilities) {
   EXPECT_THROW(FaultModel{bad}, std::invalid_argument);
 }
 
+// --- watermark pruning of the stale-model history ------------------------
+// The history is pruned by a virtual-clock watermark (newest observed
+// round minus the retention window), not by entry count. Size-based
+// pruning was wrong for overlapping cohorts: a late observe_global() from
+// an older in-flight cohort either evicted history a deeper straggler
+// still needed or was immediately evicted itself, silently shrinking the
+// lookback below straggler_staleness.
+
+FaultConfig watermark_config(std::size_t staleness) {
+  FaultConfig cfg;
+  cfg.straggler_prob = 1e-12;  // enable history recording
+  cfg.straggler_staleness = staleness;
+  return cfg;
+}
+
+TEST(FaultModelWatermark, ConsecutiveRoundsKeepExactlyTheLookbackWindow) {
+  // The sync engine's monotone round sequence: the retained set matches
+  // the old size bound (straggler_staleness + 1 newest rounds) exactly.
+  FaultModel model(watermark_config(2));
+  for (std::size_t t = 0; t < 6; ++t) {
+    const tensor::FlatVec g{static_cast<float>(t)};
+    model.observe_global(t, g);
+  }
+  std::size_t staleness = 0;
+  const tensor::FlatVec& stale = model.stale_global(5, &staleness);
+  EXPECT_EQ(staleness, 2u);
+  EXPECT_EQ(stale[0], 3.f);
+  // Rounds below the watermark (3 = 5 - window) are pruned: a lookback
+  // that deep falls back to the newest entry at or before the wanted
+  // round — here round 8 wants round 6, and the newest retained round
+  // not past it is 5.
+  const tensor::FlatVec& deepest = model.stale_global(8, &staleness);
+  EXPECT_EQ(staleness, 3u);
+  EXPECT_EQ(deepest[0], 5.f);
+}
+
+TEST(FaultModelWatermark, LateObservationFromOverlappingCohortIsRetained) {
+  FaultModel model(watermark_config(1));
+  model.set_extra_retention(2);  // async: window = 1 + 2 = 3 rounds
+  model.observe_global(1, tensor::FlatVec{1.f});
+  model.observe_global(2, tensor::FlatVec{2.f});
+  // A delayed cohort's observation for round 0 arrives AFTER rounds 1 and
+  // 2 were recorded. Size-based pruning (bound = staleness + 1 = 2
+  // entries) would insert it and immediately evict it; the watermark
+  // (2 - 3 < 0 -> keep everything) retains it.
+  model.observe_global(0, tensor::FlatVec{0.f});
+  std::size_t staleness = 0;
+  const tensor::FlatVec& stale = model.stale_global(1, &staleness);
+  EXPECT_EQ(staleness, 1u);
+  EXPECT_EQ(stale[0], 0.f);
+}
+
+TEST(FaultModelWatermark, ObservationBelowTheWatermarkIsIgnored) {
+  FaultModel model(watermark_config(1));
+  model.observe_global(10, tensor::FlatVec{10.f});
+  // window = 1, watermark = 9: a round-5 observation is unreachable by
+  // any straggler and must not be recorded (the watermark never regresses).
+  model.observe_global(5, tensor::FlatVec{5.f});
+  std::size_t staleness = 0;
+  const tensor::FlatVec& stale = model.stale_global(10, &staleness);
+  EXPECT_EQ(staleness, 0u);
+  EXPECT_EQ(stale[0], 10.f);
+}
+
+TEST(FaultModelWatermark, WatermarkSurvivesSaveLoad) {
+  FaultModel model(watermark_config(1));
+  model.observe_global(4, tensor::FlatVec{4.f});
+  model.observe_global(5, tensor::FlatVec{5.f});
+  StateWriter w;
+  model.save_state(w);
+  FaultModel restored(watermark_config(1));
+  StateReader r(w.bytes());
+  restored.load_state(r);
+  // max_round_seen_ is re-derived from the restored history: a below-
+  // watermark observation stays ignored after resume.
+  restored.observe_global(2, tensor::FlatVec{2.f});
+  std::size_t staleness = 0;
+  const tensor::FlatVec& stale = restored.stale_global(5, &staleness);
+  EXPECT_EQ(staleness, 1u);
+  EXPECT_EQ(stale[0], 4.f);
+}
+
 TEST(FaultyClient, DropoutNeverInvokesInner) {
   FaultConfig cfg;
   cfg.pinned[1] = FaultKind::dropout;

@@ -1,0 +1,333 @@
+// Round-engine suite (fl/round_engine.h): the event-queue total order,
+// engine selection/validation, buffered-async determinism across thread
+// counts, the per-cycle accounting invariant with stale discards,
+// mid-buffer checkpoint/resume, and the engine checkpoint fingerprint.
+//
+// Suite names (RoundEngine* / AsyncEngine*) are matched by the CI TSan
+// job's regex — keep them if you rename tests.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fl/round_engine.h"
+#include "net/event_queue.h"
+#include "sim/checkpoint.h"
+#include "sim/runner.h"
+
+namespace collapois {
+namespace {
+
+// --- event queue ---------------------------------------------------------
+
+TEST(RoundEngineQueue, PopsInTotalKeyOrder) {
+  net::EventQueue<int> q;
+  // Same arrival time, different (round, seq): the tie-breaks decide.
+  q.push({5.0, 2, 0}, 20);
+  q.push({5.0, 1, 1}, 11);
+  q.push({3.0, 7, 9}, 3);
+  q.push({5.0, 1, 0}, 10);
+  q.push({9.0, 0, 0}, 90);
+  std::vector<int> order;
+  while (!q.empty()) order.push_back(q.pop().payload);
+  EXPECT_EQ(order, (std::vector<int>{3, 10, 11, 20, 90}));
+}
+
+TEST(RoundEngineQueue, ForEachSortedVisitsKeyOrderWithoutDraining) {
+  net::EventQueue<int> q;
+  q.push({2.0, 0, 1}, 1);
+  q.push({1.0, 0, 0}, 0);
+  q.push({2.0, 0, 0}, 2);
+  std::vector<int> seen;
+  q.for_each_sorted([&](const net::EventQueue<int>::Event& e) {
+    seen.push_back(e.payload);
+  });
+  EXPECT_EQ(seen, (std::vector<int>{0, 2, 1}));
+  EXPECT_EQ(q.size(), 3u);  // non-destructive
+  EXPECT_EQ(q.top().payload, 0);
+}
+
+TEST(RoundEngineQueue, VirtualClockIsMonotone) {
+  net::VirtualClock clock;
+  clock.advance_to(10.0);
+  clock.advance_to(4.0);  // going backwards is a no-op
+  EXPECT_EQ(clock.now_ms, 10.0);
+  clock.advance_to(11.5);
+  EXPECT_EQ(clock.now_ms, 11.5);
+}
+
+// --- engine selection ----------------------------------------------------
+
+TEST(RoundEngineConfig, NamesAndParseRoundTrip) {
+  EXPECT_STREQ(fl::round_engine_name(fl::RoundEngineKind::sync), "sync");
+  EXPECT_STREQ(fl::round_engine_name(fl::RoundEngineKind::buffered_async),
+               "buffered_async");
+  EXPECT_EQ(fl::parse_round_engine("sync"), fl::RoundEngineKind::sync);
+  EXPECT_EQ(fl::parse_round_engine("buffered_async"),
+            fl::RoundEngineKind::buffered_async);
+  EXPECT_THROW(fl::parse_round_engine("async"), std::invalid_argument);
+}
+
+TEST(RoundEngineConfig, AsyncRequiresAnActiveTrigger) {
+  fl::AsyncConfig no_trigger;
+  no_trigger.k = 0;
+  no_trigger.t_ms = 0.0;
+  EXPECT_THROW(fl::BufferedAsyncRoundEngine{no_trigger},
+               std::invalid_argument);
+  fl::AsyncConfig bad_t;
+  bad_t.t_ms = -1.0;
+  EXPECT_THROW(fl::BufferedAsyncRoundEngine{bad_t}, std::invalid_argument);
+  fl::AsyncConfig time_only;
+  time_only.k = 0;
+  time_only.t_ms = 50.0;
+  EXPECT_NO_THROW(fl::BufferedAsyncRoundEngine{time_only});
+}
+
+TEST(RoundEngineConfig, StaleDiscardedHasAName) {
+  EXPECT_STREQ(fl::drop_reason_name(fl::DropReason::stale_discarded),
+               "stale-discarded");
+}
+
+// --- experiment-level behavior -------------------------------------------
+
+// Buffered-async campaign under combined churn: lossy high-jitter
+// transport plus compute-layer stragglers, with a K trigger small enough
+// that the buffer stays occupied across cycles (overlapping cohorts) and
+// a staleness cutoff tight enough that discards occur.
+sim::ExperimentConfig async_config() {
+  sim::ExperimentConfig cfg;
+  cfg.dataset = sim::DatasetKind::sentiment_like;
+  cfg.n_clients = 12;
+  cfg.samples_per_client = 40;
+  cfg.rounds = 12;
+  cfg.sample_prob = 0.5;
+  cfg.compromised_fraction = 0.2;
+  cfg.attack = sim::AttackKind::collapois;
+  cfg.attack_start_round = 3;
+  cfg.eval_every = 6;
+  cfg.seed = 99;
+  cfg.net.enabled = true;
+  cfg.net.loss_prob = 0.1;
+  cfg.net.latency_min_ms = 10.0;
+  cfg.net.latency_max_ms = 120.0;
+  cfg.faults.straggler_prob = 0.2;
+  cfg.faults.straggler_staleness = 2;
+  cfg.round_engine = fl::RoundEngineKind::buffered_async;
+  cfg.async.k = 4;
+  cfg.async.t_ms = 0.0;
+  cfg.async.max_staleness = 3;
+  return cfg;
+}
+
+void expect_async_rounds_identical(const sim::ExperimentResult& a,
+                                   const sim::ExperimentResult& b) {
+  ASSERT_EQ(a.final_global.size(), b.final_global.size());
+  EXPECT_EQ(a.final_global, b.final_global);  // element-exact
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].n_accepted, b.rounds[i].n_accepted);
+    EXPECT_EQ(a.rounds[i].n_dropped, b.rounds[i].n_dropped);
+    EXPECT_EQ(a.rounds[i].n_rejected, b.rounds[i].n_rejected);
+    EXPECT_EQ(a.rounds[i].n_stale_discarded, b.rounds[i].n_stale_discarded);
+    EXPECT_EQ(a.rounds[i].n_dispatched, b.rounds[i].n_dispatched);
+    EXPECT_EQ(a.rounds[i].n_buffered, b.rounds[i].n_buffered);
+    EXPECT_EQ(a.rounds[i].virtual_now_ms, b.rounds[i].virtual_now_ms);
+    EXPECT_EQ(a.rounds[i].staleness_hist, b.rounds[i].staleness_hist);
+    EXPECT_EQ(a.rounds[i].cohort_size, b.rounds[i].cohort_size);
+    EXPECT_EQ(a.rounds[i].transport.msgs_sent, b.rounds[i].transport.msgs_sent);
+    EXPECT_EQ(a.rounds[i].transport.lost, b.rounds[i].transport.lost);
+  }
+}
+
+TEST(AsyncEngine, ZeroLatencyNoFaultCyclesMatchSyncExactly) {
+  // With the transport and faults off and both triggers admitting the
+  // whole buffer each cycle, the async schedule degenerates to the sync
+  // one: same sampling draws, same training, same admission order — the
+  // final model must be ELEMENT-EXACT with the sync engine's.
+  sim::ExperimentConfig sync_cfg;
+  sync_cfg.dataset = sim::DatasetKind::sentiment_like;
+  sync_cfg.n_clients = 10;
+  sync_cfg.samples_per_client = 40;
+  sync_cfg.rounds = 8;
+  sync_cfg.sample_prob = 0.4;
+  sync_cfg.compromised_fraction = 0.2;
+  sync_cfg.attack = sim::AttackKind::collapois;
+  sync_cfg.attack_start_round = 2;
+  sync_cfg.seed = 7;
+
+  sim::ExperimentConfig async_cfg = sync_cfg;
+  async_cfg.round_engine = fl::RoundEngineKind::buffered_async;
+  async_cfg.async.k = 0;      // no count trigger:
+  async_cfg.async.t_ms = 1.0;  // drain everything that arrived
+
+  const sim::ExperimentResult s = sim::run_experiment(sync_cfg);
+  const sim::ExperimentResult a = sim::run_experiment(async_cfg);
+  ASSERT_EQ(s.final_global.size(), a.final_global.size());
+  EXPECT_EQ(s.final_global, a.final_global);
+  ASSERT_EQ(s.rounds.size(), a.rounds.size());
+  for (std::size_t i = 0; i < s.rounds.size(); ++i) {
+    EXPECT_EQ(s.rounds[i].n_accepted, a.rounds[i].n_accepted);
+    EXPECT_EQ(a.rounds[i].n_buffered, 0u);
+  }
+}
+
+TEST(AsyncEngine, DeterministicAcrossThreadCounts) {
+  sim::ExperimentConfig cfg = async_config();
+  cfg.threads = 1;
+  const sim::ExperimentResult t1 = sim::run_experiment(cfg);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    cfg.threads = threads;
+    const sim::ExperimentResult tn = sim::run_experiment(cfg);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_async_rounds_identical(t1, tn);
+  }
+}
+
+TEST(AsyncEngine, InvariantHoldsEveryCycleAndStaleDiscardsAppear) {
+  sim::ExperimentConfig cfg = async_config();
+  sim::RunOptions opts;
+  opts.keep_telemetry = true;
+  const sim::ExperimentResult result = sim::run_experiment(cfg, opts);
+  ASSERT_EQ(result.telemetry.size(), cfg.rounds);
+  bool saw_stale_discard = false;
+  bool saw_overlap = false;
+  for (const auto& t : result.telemetry) {
+    // Per-cycle invariant: every fate resolved this cycle lands in
+    // exactly one bucket.
+    EXPECT_EQ(t.cohort_size, t.sampled_ids.size() + t.dropped_ids.size() +
+                                 t.rejected_ids.size());
+    EXPECT_EQ(t.drop_reasons.size(), t.dropped_ids.size());
+    for (fl::DropReason r : t.drop_reasons) {
+      // No round deadline and no over-provisioning in async mode.
+      EXPECT_NE(r, fl::DropReason::deadline);
+      EXPECT_NE(r, fl::DropReason::excess);
+      saw_stale_discard =
+          saw_stale_discard || r == fl::DropReason::stale_discarded;
+    }
+    // The staleness histogram covers exactly the admitted updates.
+    std::size_t hist_total = 0;
+    for (std::size_t c : t.staleness_hist) hist_total += c;
+    EXPECT_EQ(hist_total, t.sampled_ids.size());
+    saw_overlap = saw_overlap || t.n_buffered > 0;
+  }
+  EXPECT_TRUE(saw_overlap) << "config never left updates in flight";
+  EXPECT_TRUE(saw_stale_discard) << "config never hit the staleness cutoff";
+  // The virtual clock is monotone across cycles.
+  for (std::size_t i = 1; i < result.rounds.size(); ++i) {
+    EXPECT_GE(result.rounds[i].virtual_now_ms,
+              result.rounds[i - 1].virtual_now_ms);
+  }
+}
+
+TEST(AsyncEngine, MetaFedRejectsTheAsyncEngine) {
+  sim::ExperimentConfig cfg = async_config();
+  cfg.algorithm = sim::AlgorithmKind::metafed;
+  cfg.attack = sim::AttackKind::none;
+  cfg.net.enabled = false;
+  cfg.faults = fl::FaultConfig{};
+  try {
+    (void)sim::run_experiment(cfg);
+    FAIL() << "MetaFed has no server round loop; async must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("round engine"), std::string::npos);
+  }
+}
+
+// --- checkpoint/resume ---------------------------------------------------
+
+TEST(AsyncEngineCheckpoint, MidBufferResumeIsBitExact) {
+  sim::ExperimentConfig cfg = async_config();
+  cfg.threads = 1;
+  const sim::ExperimentResult straight = sim::run_experiment(cfg);
+
+  const std::string path = ::testing::TempDir() + "async_resume_ck.bin";
+  cfg.threads = 4;  // checkpoint at one thread count, resume at another
+  sim::RunOptions save;
+  save.checkpoint_save_path = path;
+  save.checkpoint_round = cfg.rounds / 2;
+  const sim::ExperimentResult partial = sim::run_experiment(cfg, save);
+  ASSERT_EQ(partial.rounds.size(), cfg.rounds / 2);
+  // The scenario of interest: the checkpoint lands MID-BUFFER, with
+  // updates still in flight that the resumed run must admit.
+  EXPECT_GT(partial.rounds.back().n_buffered, 0u)
+      << "checkpoint round left no updates in flight — the mid-buffer "
+         "path was not exercised";
+
+  cfg.threads = 2;
+  sim::RunOptions resume;
+  resume.checkpoint_load_path = path;
+  const sim::ExperimentResult resumed = sim::run_experiment(cfg, resume);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(resumed.final_global.size(), straight.final_global.size());
+  EXPECT_EQ(resumed.final_global, straight.final_global);
+  ASSERT_EQ(resumed.rounds.size(), cfg.rounds - cfg.rounds / 2);
+  for (std::size_t i = 0; i < resumed.rounds.size(); ++i) {
+    const auto& sr = straight.rounds[cfg.rounds / 2 + i];
+    const auto& rr = resumed.rounds[i];
+    EXPECT_EQ(sr.n_accepted, rr.n_accepted);
+    EXPECT_EQ(sr.n_stale_discarded, rr.n_stale_discarded);
+    EXPECT_EQ(sr.n_buffered, rr.n_buffered);
+    EXPECT_EQ(sr.virtual_now_ms, rr.virtual_now_ms);
+    EXPECT_EQ(sr.staleness_hist, rr.staleness_hist);
+  }
+}
+
+TEST(AsyncEngineCheckpoint, EngineFingerprintPinsTheAsyncKnobs) {
+  sim::ExperimentConfig a;
+  sim::ExperimentConfig b;
+  b.async.k = 99;  // stale knob under the sync engine: no effect
+  EXPECT_EQ(sim::engine_fingerprint(a), sim::engine_fingerprint(b));
+  a.round_engine = fl::RoundEngineKind::buffered_async;
+  b.round_engine = fl::RoundEngineKind::buffered_async;
+  EXPECT_NE(sim::engine_fingerprint(a), sim::engine_fingerprint(b));
+  b.async.k = a.async.k;
+  EXPECT_EQ(sim::engine_fingerprint(a), sim::engine_fingerprint(b));
+  b.async.t_ms = 25.0;
+  EXPECT_NE(sim::engine_fingerprint(a), sim::engine_fingerprint(b));
+  b.async.t_ms = a.async.t_ms;
+  b.async.max_staleness += 1;
+  EXPECT_NE(sim::engine_fingerprint(a), sim::engine_fingerprint(b));
+}
+
+TEST(AsyncEngineCheckpoint, ResumeUnderDifferentEngineFailsLoudly) {
+  sim::ExperimentConfig cfg = async_config();
+  const std::string path = ::testing::TempDir() + "async_mismatch_ck.bin";
+  sim::RunOptions save;
+  save.checkpoint_save_path = path;
+  save.checkpoint_round = 3;
+  (void)sim::run_experiment(cfg, save);
+
+  sim::RunOptions resume;
+  resume.checkpoint_load_path = path;
+
+  // Same experiment, sync engine: must fail naming the round engine.
+  sim::ExperimentConfig sync_cfg = cfg;
+  sync_cfg.round_engine = fl::RoundEngineKind::sync;
+  try {
+    (void)sim::run_experiment(sync_cfg, resume);
+    FAIL() << "resume under a different round engine must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("round engine"), std::string::npos);
+  }
+
+  // Same engine, different aggregation trigger: same loud failure.
+  sim::ExperimentConfig changed_k = cfg;
+  changed_k.async.k += 1;
+  EXPECT_THROW((void)sim::run_experiment(changed_k, resume),
+               std::invalid_argument);
+  sim::ExperimentConfig changed_cutoff = cfg;
+  changed_cutoff.async.max_staleness += 1;
+  EXPECT_THROW((void)sim::run_experiment(changed_cutoff, resume),
+               std::invalid_argument);
+
+  // The unchanged config still resumes.
+  const sim::ExperimentResult ok = sim::run_experiment(cfg, resume);
+  EXPECT_EQ(ok.rounds.size(), cfg.rounds - 3);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace collapois
