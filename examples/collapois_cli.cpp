@@ -85,6 +85,23 @@ round engine (DESIGN.md paragraph 11; every --async-* flag implies
   --async-max-staleness N  discard updates more than N rounds
                            stale (compute lag + buffer lag)        [8]
 
+cross-device scale-out (DESIGN.md paragraph 12):
+  --shards N               shard aggregators per round; 1 = flat    [1]
+                           (bit-identical to the flat path for
+                           FedAvg and the coordinate-wise defenses;
+                           Krum/Multi-Krum/FLARE need the whole
+                           cohort and reject N > 1)
+  --population N           registered federation size — alias of
+                           --clients, named for the cross-device
+                           regime                                   [100]
+  --lazy-clients           materialize clients (and their data) on
+                           first sample instead of at startup;
+                           requires --eval-max-clients > 0          [off]
+  --eval-every N           population eval cadence in rounds;
+                           0 = final round only                     [0]
+  --eval-max-clients N     bound every eval sweep to N uniformly
+                           strided clients; 0 = all                 [0]
+
 checkpoint/resume (bit-exact; sim/checkpoint.h):
   --checkpoint PATH --checkpoint-round N   halt after N rounds, save
   --resume PATH                            restore and run to --rounds
@@ -245,6 +262,16 @@ int main(int argc, char** argv) {
       } else if (flag == "--net-seed") {
         cfg.net.seed = parse_count(flag, value());
         cfg.net.enabled = true;
+      } else if (flag == "--shards") {
+        cfg.shards = parse_count(flag, value());
+      } else if (flag == "--population") {
+        cfg.n_clients = parse_count(flag, value());
+      } else if (flag == "--lazy-clients") {
+        cfg.lazy_clients = true;
+      } else if (flag == "--eval-every") {
+        cfg.eval_every = parse_count(flag, value());
+      } else if (flag == "--eval-max-clients") {
+        cfg.eval_max_clients = parse_count(flag, value());
       } else if (flag == "--round-engine") {
         cfg.round_engine = fl::parse_round_engine(value());
       } else if (flag == "--async-k") {
@@ -281,9 +308,39 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (cfg.n_clients == 0) usage("--clients must be at least 1");
+  if (cfg.n_clients == 0) {
+    usage("--clients/--population must be at least 1");
+  }
   if (cfg.rounds == 0) usage("--rounds must be at least 1");
   if (cfg.sample_prob <= 0.0) usage("--q must be in (0, 1]");
+  if (cfg.shards == 0) usage("--shards must be at least 1");
+  if (cfg.shards > cfg.n_clients) {
+    usage("--shards must not exceed the registered population "
+          "(--clients/--population)");
+  }
+  {
+    // A shard count beyond the expected round cohort means structurally
+    // empty shards every round — reject it like any other nonsensical
+    // topology instead of silently clamping.
+    const double expected = std::ceil(
+        cfg.sample_prob * static_cast<double>(cfg.n_clients));
+    const std::size_t expected_cohort =
+        expected < 1.0 ? 1 : static_cast<std::size_t>(expected);
+    if (cfg.shards > expected_cohort) {
+      usage("--shards exceeds the expected round cohort "
+            "(ceil(--q * --clients) = " + std::to_string(expected_cohort) +
+            ") — shards would sit empty every round");
+    }
+  }
+  if ((cfg.shards > 1 || cfg.lazy_clients) &&
+      cfg.algorithm == sim::AlgorithmKind::metafed) {
+    usage("--shards/--lazy-clients scale the server's round loop and do "
+          "not apply to --algorithm metafed");
+  }
+  if (cfg.lazy_clients && cfg.eval_max_clients == 0) {
+    usage("--lazy-clients requires --eval-max-clients > 0 — evaluating "
+          "every client would materialize the whole registered population");
+  }
   if (cfg.net.enabled && cfg.net.latency_min_ms > cfg.net.latency_max_ms) {
     usage("--net-latency-min must not exceed --net-latency-max");
   }

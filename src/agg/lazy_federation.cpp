@@ -1,0 +1,60 @@
+#include "agg/lazy_federation.h"
+
+#include <stdexcept>
+
+namespace collapois::agg {
+
+std::uint64_t derive_client_seed(std::uint64_t base, std::size_t index) {
+  // splitmix64 finalizer over base + (index+1) * golden-gamma. The +1
+  // keeps client 0's seed distinct from the base seed itself.
+  std::uint64_t z =
+      base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+LazyFederation::LazyFederation(std::size_t n_clients, std::size_t num_classes,
+                               SplitFactory factory)
+    : n_clients_(n_clients),
+      num_classes_(num_classes),
+      factory_(std::move(factory)) {
+  if (n_clients_ == 0) {
+    throw std::invalid_argument("LazyFederation: zero clients");
+  }
+  if (num_classes_ == 0) {
+    throw std::invalid_argument("LazyFederation: zero classes");
+  }
+  if (!factory_) {
+    throw std::invalid_argument("LazyFederation: null split factory");
+  }
+}
+
+const data::ClientSplit& LazyFederation::client_data(std::size_t i) {
+  if (i >= n_clients_) {
+    throw std::out_of_range("LazyFederation::client_data: index out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(i);
+  if (it == cache_.end()) {
+    it = cache_.emplace(i, factory_(i)).first;
+  }
+  return it->second;
+}
+
+std::vector<double> LazyFederation::client_histogram(std::size_t i) {
+  const data::ClientSplit& c = client_data(i);
+  std::vector<double> hist(num_classes_, 0.0);
+  for (const data::Dataset* part : {&c.train, &c.test, &c.validation}) {
+    const auto h = part->label_histogram();
+    for (std::size_t j = 0; j < num_classes_; ++j) hist[j] += h[j];
+  }
+  return hist;
+}
+
+std::size_t LazyFederation::materialized() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace collapois::agg

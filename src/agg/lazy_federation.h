@@ -1,0 +1,91 @@
+// Lazy client data — the federation half of the cross-device memory fix
+// (DESIGN.md §12).
+//
+// Eager federations (data::build_federation) synthesize every client's
+// local data at startup from ONE shared RNG stream, so memory and startup
+// time are linear in the registered population. At cross-device scale
+// (10⁵–10⁶ registered, 10²–10³ sampled per round) that is the memory
+// cliff. LazyFederation instead derives an independent seed per client
+// (splitmix64 over the base data seed and the client index) and generates
+// a client's split only when someone first asks for it. Because client
+// i's data depends solely on (data_seed, i) — never on which clients were
+// generated before it — the scheme is deterministic under arbitrary
+// sampling order, shard counts, thread counts and checkpoint/resume.
+//
+// NOTE: per-client seeding is a DIFFERENT (equally valid) draw of the
+// same Dir(alpha) federation distribution than the eager shared-stream
+// scheme, so --lazy-clients is its own deterministic universe: lazy runs
+// reproduce each other exactly, and the checkpoint scale fingerprint
+// keeps the two universes from being mixed mid-campaign.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "data/partition.h"
+#include "stats/rng.h"
+
+namespace collapois::agg {
+
+// Splitmix64 finalizer over (base, index): a well-mixed, order-free
+// per-client seed stream.
+std::uint64_t derive_client_seed(std::uint64_t base, std::size_t index);
+
+// On-demand, cached per-client splits. client_data() references stay
+// valid for the federation's lifetime (map nodes are stable), so client
+// objects can hold Dataset pointers into the cache.
+class LazyFederation {
+ public:
+  using SplitFactory = std::function<data::ClientSplit(std::size_t)>;
+
+  // Throws on zero clients, zero classes, or a null factory.
+  LazyFederation(std::size_t n_clients, std::size_t num_classes,
+                 SplitFactory factory);
+
+  std::size_t num_clients() const { return n_clients_; }
+  std::size_t num_classes() const { return num_classes_; }
+
+  // The split for client i, generated on first request (throws on an
+  // out-of-range index). Thread-safe; generation runs under the lock, so
+  // concurrent callers never observe a half-built split.
+  const data::ClientSplit& client_data(std::size_t i);
+
+  // Label histogram (train+test+validation) of client i's full local
+  // data — data::FederatedData::client_label_histograms for one client.
+  std::vector<double> client_histogram(std::size_t i);
+
+  // Number of splits generated so far.
+  std::size_t materialized() const;
+
+ private:
+  std::size_t n_clients_;
+  std::size_t num_classes_;
+  SplitFactory factory_;
+  mutable std::mutex mu_;
+  std::map<std::size_t, data::ClientSplit> cache_;
+};
+
+// The simulator's factory: mirrors data::build_federation's per-client
+// body (Dirichlet class mix -> generate -> 70/15/15 split) but drives
+// each client from its own derived seed instead of the shared stream.
+// Works with SyntheticImageGenerator and SyntheticTextGenerator; the
+// generator is captured by value (both are cheap, immutable config +
+// prototype holders).
+template <typename Generator>
+LazyFederation::SplitFactory make_dirichlet_split_factory(
+    Generator gen, std::uint64_t data_seed, std::size_t samples_per_client,
+    double alpha) {
+  return [gen = std::move(gen), data_seed, samples_per_client,
+          alpha](std::size_t i) {
+    stats::Rng rng(derive_client_seed(data_seed, i));
+    const auto counts = data::dirichlet_class_counts(
+        rng, alpha, gen.num_classes(), samples_per_client);
+    data::Dataset local = gen.generate(counts, rng);
+    return data::split_client_data(local, rng);
+  };
+}
+
+}  // namespace collapois::agg

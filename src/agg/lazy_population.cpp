@@ -1,0 +1,74 @@
+#include "agg/lazy_population.h"
+
+#include <stdexcept>
+
+namespace collapois::agg {
+
+LazyClientPopulation::LazyClientPopulation(std::size_t n_clients,
+                                           Factory factory)
+    : n_clients_(n_clients), factory_(std::move(factory)) {
+  if (n_clients_ == 0) {
+    throw std::invalid_argument("LazyClientPopulation: zero clients");
+  }
+  if (!factory_) {
+    throw std::invalid_argument("LazyClientPopulation: null factory");
+  }
+}
+
+fl::Client& LazyClientPopulation::materialize_locked(std::size_t i) {
+  auto it = clients_.find(i);
+  if (it == clients_.end()) {
+    auto c = factory_(i);
+    if (!c) {
+      throw std::runtime_error(
+          "LazyClientPopulation: factory returned null client");
+    }
+    it = clients_.emplace(i, std::move(c)).first;
+  }
+  return *it->second;
+}
+
+fl::Client& LazyClientPopulation::client(std::size_t i) {
+  if (i >= n_clients_) {
+    throw std::out_of_range("LazyClientPopulation: index out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return materialize_locked(i);
+}
+
+std::size_t LazyClientPopulation::materialized() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clients_.size();
+}
+
+void LazyClientPopulation::save_state(fl::StateWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only the materialized subset carries evolved state; std::map keeps
+  // the (index, state) pairs in ascending index order, which makes the
+  // blob a pure function of which clients ever participated.
+  w.write_size(clients_.size());
+  for (const auto& [index, client] : clients_) {
+    w.write_size(index);
+    client->save_state(w);
+  }
+}
+
+void LazyClientPopulation::load_state(fl::StateReader& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = r.read_size();
+  if (n > n_clients_) {
+    throw std::runtime_error(
+        "LazyClientPopulation::load_state: materialized count exceeds "
+        "population");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t index = r.read_size();
+    if (index >= n_clients_) {
+      throw std::runtime_error(
+          "LazyClientPopulation::load_state: client index out of range");
+    }
+    materialize_locked(index).load_state(r);
+  }
+}
+
+}  // namespace collapois::agg

@@ -1,0 +1,56 @@
+// Lazy client population — the client half of the cross-device memory
+// fix (DESIGN.md §12).
+//
+// Clients are built by a factory on first sample instead of at startup,
+// so live memory tracks the number of DISTINCT participants ever sampled
+// (10²–10³ per round at production sampling ratios) rather than the
+// registered population (10⁵–10⁶). The factory must be a pure function
+// of the client index — the simulator derives every per-client RNG from
+// the index (agg/lazy_federation.h), so a client materialized at round
+// 50 is byte-identical to the same client materialized at round 0.
+//
+// Checkpoints store only the materialized subset: the count, then
+// (index, state) pairs in ascending index order. Resume re-materializes
+// exactly those clients through the factory and restores their evolved
+// state, so a resumed lazy run replays the original bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "fl/population.h"
+
+namespace collapois::agg {
+
+class LazyClientPopulation final : public fl::ClientPopulation {
+ public:
+  using Factory = std::function<std::unique_ptr<fl::Client>(std::size_t)>;
+
+  // Throws on zero clients or a null factory.
+  LazyClientPopulation(std::size_t n_clients, Factory factory);
+
+  std::size_t size() const override { return n_clients_; }
+
+  // Materializes on first access (under the lock, so the distinct-index
+  // concurrency contract holds for the eval sweep). Throws on an
+  // out-of-range index or a factory that returns null.
+  fl::Client& client(std::size_t i) override;
+
+  std::size_t materialized() const override;
+
+  void save_state(fl::StateWriter& w) const override;
+  void load_state(fl::StateReader& r) override;
+
+ private:
+  fl::Client& materialize_locked(std::size_t i);
+
+  std::size_t n_clients_;
+  Factory factory_;
+  mutable std::mutex mu_;
+  std::map<std::size_t, std::unique_ptr<fl::Client>> clients_;
+};
+
+}  // namespace collapois::agg

@@ -1,0 +1,27 @@
+#include "agg/shard_plan.h"
+
+#include <stdexcept>
+
+namespace collapois::agg {
+
+std::vector<ShardRange> plan_shards(std::size_t n_items,
+                                    std::size_t n_shards) {
+  if (n_shards == 0) {
+    throw std::invalid_argument("plan_shards: zero shards");
+  }
+  std::vector<ShardRange> plan;
+  if (n_items == 0) return plan;
+  const std::size_t s = n_shards < n_items ? n_shards : n_items;
+  const std::size_t base = n_items / s;
+  const std::size_t extra = n_items % s;
+  plan.reserve(s);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < s; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    plan.push_back({begin, begin + len});
+    begin += len;
+  }
+  return plan;
+}
+
+}  // namespace collapois::agg

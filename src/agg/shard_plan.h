@@ -1,0 +1,29 @@
+// Shard topology planning for the aggregation tree (DESIGN.md §12).
+//
+// A plan is a balanced partition of [0, n_items) into at most n_shards
+// contiguous, non-empty ranges in ascending order. Contiguity is the
+// bit-exactness lever: streaming rules fold row ranges in order (same
+// float sequence as flat), and coordinate rules write disjoint column
+// ranges (per-column math never crosses a boundary).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace collapois::agg {
+
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // exclusive
+  std::size_t size() const { return end - begin; }
+};
+
+// Partition [0, n_items) into min(n_shards, n_items) contiguous ranges
+// whose sizes differ by at most one (the first n_items % S ranges get the
+// extra element). Returns an empty plan for n_items == 0; throws on
+// n_shards == 0. The plan is a pure function of (n_items, n_shards) —
+// identical across thread counts, which keeps shard decomposition out of
+// the determinism surface.
+std::vector<ShardRange> plan_shards(std::size_t n_items, std::size_t n_shards);
+
+}  // namespace collapois::agg

@@ -1,0 +1,89 @@
+#include "agg/sharded_aggregator.h"
+
+#include <stdexcept>
+
+#include "runtime/parallel.h"
+
+namespace collapois::agg {
+
+tensor::FlatVec StreamingCombiner::combine(
+    fl::Aggregator& inner, const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> global, std::size_t shards,
+    runtime::ThreadPool* pool) {
+  const auto plan = plan_shards(updates.size(), shards);
+  auto stream = inner.stream_begin(updates.front().delta.size());
+  // Shards fold IN ORDER into the single stream — that ordering is the
+  // whole bit-exactness argument, so it is deliberately sequential; the
+  // pool is passed through for the rule's own inner loops.
+  for (const ShardRange& r : plan) {
+    inner.stream_absorb(*stream, updates, r.begin, r.end, global, pool);
+  }
+  return inner.stream_finish(*stream, global);
+}
+
+tensor::FlatVec ColumnConcatCombiner::combine(
+    fl::Aggregator& inner, const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> global, std::size_t shards,
+    runtime::ThreadPool* pool) {
+  const std::size_t dim = updates.front().delta.size();
+  tensor::FlatVec out(dim);
+  const auto plan = plan_shards(dim, shards);
+  // Disjoint output ranges -> data-race free; per-column math is column-
+  // local -> any shard/thread count yields the flat result exactly. The
+  // inner calls run on pool workers, so they get a null pool themselves
+  // (runtime::ThreadPool does not nest).
+  runtime::parallel_for(pool, plan.size(), [&](std::size_t s) {
+    inner.aggregate_columns(updates, global, plan[s].begin, plan[s].end,
+                            out.data() + plan[s].begin, nullptr);
+  });
+  return out;
+}
+
+std::unique_ptr<ShardCombiner> make_combiner(fl::ShardCapability capability) {
+  switch (capability) {
+    case fl::ShardCapability::streaming:
+      return std::make_unique<StreamingCombiner>();
+    case fl::ShardCapability::coordinate:
+      return std::make_unique<ColumnConcatCombiner>();
+    case fl::ShardCapability::cohort_only:
+      break;
+  }
+  throw std::invalid_argument(
+      "make_combiner: cohort_only rules cannot be combined across shards");
+}
+
+ShardedAggregator::ShardedAggregator(std::unique_ptr<fl::Aggregator> inner,
+                                     std::size_t shards)
+    : inner_(std::move(inner)), shards_(shards) {
+  if (!inner_) {
+    throw std::invalid_argument("ShardedAggregator: null inner aggregator");
+  }
+  if (shards_ == 0) {
+    throw std::invalid_argument("ShardedAggregator: shards must be >= 1");
+  }
+  if (shards_ > 1) {
+    if (inner_->shard_capability() == fl::ShardCapability::cohort_only) {
+      // The loud-failure path the capability matrix promises: pairwise-
+      // distance rules need the whole cohort, and silently running them
+      // per-shard would change their semantics.
+      throw std::invalid_argument(
+          "ShardedAggregator: defense '" + inner_->name() +
+          "' needs the whole cohort (cohort_only) and cannot be sharded; "
+          "run with --shards 1");
+    }
+    combiner_ = make_combiner(inner_->shard_capability());
+  }
+}
+
+tensor::FlatVec ShardedAggregator::do_aggregate(
+    const std::vector<fl::ClientUpdate>& updates, std::span<const float> global,
+    runtime::ThreadPool* pool) {
+  // S == 1 and the empty / single-update cases take the rule's own flat
+  // path — same code, same errors, same bytes as an unwrapped aggregator.
+  if (shards_ <= 1 || updates.size() <= 1) {
+    return inner_->aggregate(updates, global, pool);
+  }
+  return combiner_->combine(*inner_, updates, global, shards_, pool);
+}
+
+}  // namespace collapois::agg

@@ -1,0 +1,113 @@
+// The sharded aggregation tree's root (DESIGN.md §12).
+//
+// ShardedAggregator decorates any fl::Aggregator: it partitions each
+// round's cohort across S shards — reusing the wrapped rule's own
+// machinery per shard — and combines the shard results through a
+// pluggable ShardCombiner chosen from the rule's declared capability:
+//
+//   streaming   -> StreamingCombiner: contiguous ROW ranges of the
+//                  admission-ordered update list, absorbed sequentially
+//                  into one accumulator stream. The fold's float
+//                  operation sequence is literally the flat path's, so
+//                  the result is bit-identical; memory stays bounded at
+//                  one shard slice + one d-vector.
+//   coordinate  -> ColumnConcatCombiner: contiguous COLUMN ranges
+//                  computed concurrently on the thread pool into
+//                  disjoint slices of the output vector. Per-column math
+//                  never crosses a range boundary, so every coordinate
+//                  equals the flat path's exactly — for any shard count
+//                  and any thread count.
+//   cohort_only -> no combiner exists: the constructor throws. Krum,
+//                  Multi-Krum and FLARE need every pairwise distance in
+//                  the cohort; partitioning them would silently change
+//                  the rule, so the tree fails loudly instead.
+//
+// Shard fan-out uses the existing runtime::ThreadPool via parallel_for;
+// per-shard inner calls get a null pool (the pool does not nest).
+#pragma once
+
+#include <memory>
+
+#include "agg/shard_plan.h"
+#include "fl/aggregator.h"
+
+namespace collapois::agg {
+
+// Root-side combination strategy over the wrapped rule's shard protocol.
+class ShardCombiner {
+ public:
+  virtual ~ShardCombiner() = default;
+
+  // Runs the sharded aggregation of `updates` (non-empty) with at most
+  // `shards` shards and returns the combined result.
+  virtual tensor::FlatVec combine(fl::Aggregator& inner,
+                                  const std::vector<fl::ClientUpdate>& updates,
+                                  std::span<const float> global,
+                                  std::size_t shards,
+                                  runtime::ThreadPool* pool) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Ordered sequential fold over row-range shards (streaming rules).
+class StreamingCombiner final : public ShardCombiner {
+ public:
+  tensor::FlatVec combine(fl::Aggregator& inner,
+                          const std::vector<fl::ClientUpdate>& updates,
+                          std::span<const float> global, std::size_t shards,
+                          runtime::ThreadPool* pool) override;
+  const char* name() const override { return "streaming"; }
+};
+
+// Concurrent column-range shards concatenated into the output
+// (coordinate rules).
+class ColumnConcatCombiner final : public ShardCombiner {
+ public:
+  tensor::FlatVec combine(fl::Aggregator& inner,
+                          const std::vector<fl::ClientUpdate>& updates,
+                          std::span<const float> global, std::size_t shards,
+                          runtime::ThreadPool* pool) override;
+  const char* name() const override { return "column-concat"; }
+};
+
+// The combiner for a declared capability; throws std::invalid_argument
+// for cohort_only (no semantics-preserving combiner exists).
+std::unique_ptr<ShardCombiner> make_combiner(fl::ShardCapability capability);
+
+class ShardedAggregator final : public fl::Aggregator {
+ public:
+  // Throws if inner is null, shards is 0, or shards > 1 while the inner
+  // rule is cohort_only (the loud-failure path, naming the rule and the
+  // --shards remedy).
+  ShardedAggregator(std::unique_ptr<fl::Aggregator> inner, std::size_t shards);
+
+  // The tree is transparent to everything around it: name, post-update
+  // hook and checkpoint bytes are the wrapped rule's, so trajectories
+  // and resume blobs compare 1:1 against the flat path.
+  std::string name() const override { return inner_->name(); }
+  void post_update(tensor::FlatVec& params) override {
+    inner_->post_update(params);
+  }
+  void save_state(fl::StateWriter& w) const override {
+    inner_->save_state(w);
+  }
+  void load_state(fl::StateReader& r) override { inner_->load_state(r); }
+  fl::ShardCapability shard_capability() const override {
+    return inner_->shard_capability();
+  }
+
+  std::size_t shards() const { return shards_; }
+  const fl::Aggregator& inner() const { return *inner_; }
+
+ protected:
+  tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
+                               std::span<const float> global,
+                               runtime::ThreadPool* pool) override;
+
+ private:
+  std::unique_ptr<fl::Aggregator> inner_;
+  std::size_t shards_;
+  std::unique_ptr<ShardCombiner> combiner_;  // null when shards_ == 1
+};
+
+}  // namespace collapois::agg

@@ -28,6 +28,33 @@ class CrflAggregator : public fl::Aggregator {
 
   void post_update(tensor::FlatVec& params) override;
   std::string name() const override { return "crfl"; }
+
+  // CRFL's aggregation is pure delegation (its own work happens in
+  // post_update, on the root's parameters), so the shard protocol
+  // forwards to the inner rule wholesale.
+  fl::ShardCapability shard_capability() const override {
+    return inner_->shard_capability();
+  }
+  std::unique_ptr<fl::ShardStream> stream_begin(std::size_t dim) override {
+    return inner_->stream_begin(dim);
+  }
+  void stream_absorb(fl::ShardStream& stream,
+                     const std::vector<fl::ClientUpdate>& updates,
+                     std::size_t row_begin, std::size_t row_end,
+                     std::span<const float> global,
+                     runtime::ThreadPool* pool) override {
+    inner_->stream_absorb(stream, updates, row_begin, row_end, global, pool);
+  }
+  tensor::FlatVec stream_finish(fl::ShardStream& stream,
+                                std::span<const float> global) override {
+    return inner_->stream_finish(stream, global);
+  }
+  void aggregate_columns(const std::vector<fl::ClientUpdate>& updates,
+                         std::span<const float> global, std::size_t col_begin,
+                         std::size_t col_end, float* out,
+                         runtime::ThreadPool* pool) override {
+    inner_->aggregate_columns(updates, global, col_begin, col_end, out, pool);
+  }
   void save_state(fl::StateWriter& w) const override {
     w.write_rng(rng_);
     inner_->save_state(w);

@@ -30,9 +30,9 @@ tensor::FlatVec FlareAggregator::do_aggregate(
   // Mean pairwise distance of each update to the others, off the shared
   // squared-distance kernel. Accumulating row i over j ascending matches
   // the original upper-triangle loop's order exactly.
-  fl::UpdateMatrix matrix(updates);
+  matrix_.pack(updates);
   std::vector<double> d2(n * n);
-  defense_ops().pairwise_sq_dists(matrix, d2.data(), pool);
+  defense_ops().pairwise_sq_dists(matrix_, d2.data(), pool);
   std::vector<double> mean_dist(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {

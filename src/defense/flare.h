@@ -7,6 +7,7 @@
 #pragma once
 
 #include "fl/aggregator.h"
+#include "fl/update_matrix.h"
 
 namespace collapois::defense {
 
@@ -33,6 +34,9 @@ class FlareAggregator : public fl::Aggregator {
  private:
   FlareConfig config_;
   std::vector<double> trust_;
+  fl::UpdateMatrix matrix_;  // pack buffer, reused across rounds
 };
+// FLARE keeps the default cohort_only shard capability: trust scores are
+// a softmax over all-pairs distances, so any partition changes the rule.
 
 }  // namespace collapois::defense

@@ -29,9 +29,9 @@ tensor::FlatVec KrumAggregator::do_aggregate(
 
   // Pairwise squared distances via the active defense-kernel set (the
   // O(n^2 d) hot loop; everything below is O(n^2 log n) on scalars).
-  fl::UpdateMatrix matrix(updates);
+  matrix_.pack(updates);
   std::vector<double> d2(n * n);
-  defense_ops().pairwise_sq_dists(matrix, d2.data(), pool);
+  defense_ops().pairwise_sq_dists(matrix_, d2.data(), pool);
 
   // Krum score: sum over the closest n - f - 2 neighbours.
   const std::size_t f = config_.assumed_byzantine;

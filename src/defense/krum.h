@@ -4,6 +4,7 @@
 #pragma once
 
 #include "fl/aggregator.h"
+#include "fl/update_matrix.h"
 
 namespace collapois::defense {
 
@@ -33,6 +34,10 @@ class KrumAggregator : public fl::Aggregator {
  private:
   KrumConfig config_;
   std::vector<std::size_t> selected_;
+  fl::UpdateMatrix matrix_;  // pack buffer, reused across rounds
 };
+// Krum keeps the default cohort_only shard capability: its score needs
+// every pairwise distance in the cohort, so sharding it would change the
+// rule. The shard tree refuses S > 1 loudly (DESIGN.md §12).
 
 }  // namespace collapois::defense

@@ -3,7 +3,6 @@
 #include <stdexcept>
 
 #include "defense/defense_kernels.h"
-#include "fl/update_matrix.h"
 
 namespace collapois::defense {
 
@@ -13,10 +12,24 @@ tensor::FlatVec CoordMedianAggregator::do_aggregate(
   if (updates.empty()) {
     throw std::invalid_argument("CoordMedianAggregator: no updates");
   }
-  fl::UpdateMatrix matrix(updates);
-  tensor::FlatVec out(matrix.cols());
-  defense_ops().coord_median(matrix, out.data(), pool);
+  matrix_.pack(updates);
+  tensor::FlatVec out(matrix_.cols());
+  defense_ops().coord_median(matrix_, out.data(), pool);
   return out;
+}
+
+void CoordMedianAggregator::aggregate_columns(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> /*global*/, std::size_t col_begin,
+    std::size_t col_end, float* out, runtime::ThreadPool* pool) {
+  if (updates.empty()) {
+    throw std::invalid_argument("CoordMedianAggregator: no updates");
+  }
+  // Column shards run concurrently, so the slice matrix is per-call
+  // rather than the reused member.
+  fl::UpdateMatrix slice;
+  slice.pack_columns(updates, col_begin, col_end);
+  defense_ops().coord_median(slice, out, pool);
 }
 
 TrimmedMeanAggregator::TrimmedMeanAggregator(double trim_fraction)
@@ -33,12 +46,28 @@ tensor::FlatVec TrimmedMeanAggregator::do_aggregate(
   if (updates.empty()) {
     throw std::invalid_argument("TrimmedMeanAggregator: no updates");
   }
-  fl::UpdateMatrix matrix(updates);
+  matrix_.pack(updates);
   const std::size_t trim = static_cast<std::size_t>(
-      trim_fraction_ * static_cast<double>(matrix.rows()));
-  tensor::FlatVec out(matrix.cols());
-  defense_ops().trimmed_mean(matrix, trim, out.data(), pool);
+      trim_fraction_ * static_cast<double>(matrix_.rows()));
+  tensor::FlatVec out(matrix_.cols());
+  defense_ops().trimmed_mean(matrix_, trim, out.data(), pool);
   return out;
+}
+
+void TrimmedMeanAggregator::aggregate_columns(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> /*global*/, std::size_t col_begin,
+    std::size_t col_end, float* out, runtime::ThreadPool* pool) {
+  if (updates.empty()) {
+    throw std::invalid_argument("TrimmedMeanAggregator: no updates");
+  }
+  fl::UpdateMatrix slice;
+  slice.pack_columns(updates, col_begin, col_end);
+  // The trim count depends only on the row count, which a column slice
+  // preserves — shard results match the flat path exactly.
+  const std::size_t trim = static_cast<std::size_t>(
+      trim_fraction_ * static_cast<double>(slice.rows()));
+  defense_ops().trimmed_mean(slice, trim, out, pool);
 }
 
 }  // namespace collapois::defense

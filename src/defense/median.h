@@ -1,8 +1,14 @@
 // Coordinate-wise robust statistics (Yin et al., ICML'18): the
 // element-wise median and the alpha-trimmed mean of the round's updates.
+//
+// Both rules are independent per coordinate, so they declare the
+// `coordinate` shard capability: the shard tree slices the cohort by
+// column ranges and each shard runs the same kernel over its slice —
+// per-column results are bit-identical to the flat path (DESIGN.md §12).
 #pragma once
 
 #include "fl/aggregator.h"
+#include "fl/update_matrix.h"
 
 namespace collapois::defense {
 
@@ -11,10 +17,21 @@ class CoordMedianAggregator : public fl::Aggregator {
  public:
   std::string name() const override { return "coord-median"; }
 
+  fl::ShardCapability shard_capability() const override {
+    return fl::ShardCapability::coordinate;
+  }
+  void aggregate_columns(const std::vector<fl::ClientUpdate>& updates,
+                         std::span<const float> global, std::size_t col_begin,
+                         std::size_t col_end, float* out,
+                         runtime::ThreadPool* pool) override;
+
  protected:
   tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
                                std::span<const float> global,
                                runtime::ThreadPool* pool) override;
+
+ private:
+  fl::UpdateMatrix matrix_;  // flat-path pack buffer, reused across rounds
 };
 
 // Per coordinate, drop the largest and smallest `trim_fraction` of values
@@ -25,6 +42,14 @@ class TrimmedMeanAggregator : public fl::Aggregator {
 
   std::string name() const override { return "trimmed-mean"; }
 
+  fl::ShardCapability shard_capability() const override {
+    return fl::ShardCapability::coordinate;
+  }
+  void aggregate_columns(const std::vector<fl::ClientUpdate>& updates,
+                         std::span<const float> global, std::size_t col_begin,
+                         std::size_t col_end, float* out,
+                         runtime::ThreadPool* pool) override;
+
  protected:
   tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
                                std::span<const float> global,
@@ -32,6 +57,7 @@ class TrimmedMeanAggregator : public fl::Aggregator {
 
  private:
   double trim_fraction_;
+  fl::UpdateMatrix matrix_;  // flat-path pack buffer, reused across rounds
 };
 
 }  // namespace collapois::defense

@@ -13,6 +13,32 @@ std::vector<fl::ClientUpdate> clip_updates(
   return out;
 }
 
+// Stream state shared by the clip-then-noise decorators: the inner
+// rule's stream plus the running participant count (DP's noise scale
+// divides by it).
+struct ClipStream final : fl::ShardStream {
+  explicit ClipStream(std::unique_ptr<fl::ShardStream> inner)
+      : inner_stream(std::move(inner)) {}
+  std::unique_ptr<fl::ShardStream> inner_stream;
+  std::size_t n_updates = 0;
+};
+
+// Clips a copy of rows [row_begin, row_end) and absorbs them into the
+// inner stream as rows [0, count) of the clipped slice — per-update
+// clipping is independent, so the values the inner fold sees match the
+// flat clip-everything-first path exactly.
+void clip_and_absorb(fl::Aggregator& inner, ClipStream& s, double clip,
+                     const std::vector<fl::ClientUpdate>& updates,
+                     std::size_t row_begin, std::size_t row_end,
+                     std::span<const float> global, runtime::ThreadPool* pool) {
+  std::vector<fl::ClientUpdate> clipped(updates.begin() + row_begin,
+                                        updates.begin() + row_end);
+  for (auto& u : clipped) tensor::clip_l2_inplace(u.delta, clip);
+  inner.stream_absorb(*s.inner_stream, clipped, 0, clipped.size(), global,
+                      pool);
+  s.n_updates += clipped.size();
+}
+
 }  // namespace
 
 NormBoundAggregator::NormBoundAggregator(NormBoundConfig config,
@@ -23,6 +49,37 @@ NormBoundAggregator::NormBoundAggregator(NormBoundConfig config,
   if (config_.clip <= 0.0) {
     throw std::invalid_argument("NormBoundAggregator: clip must be > 0");
   }
+}
+
+fl::ShardCapability NormBoundAggregator::shard_capability() const {
+  return inner_->shard_capability() == fl::ShardCapability::streaming
+             ? fl::ShardCapability::streaming
+             : fl::ShardCapability::cohort_only;
+}
+
+std::unique_ptr<fl::ShardStream> NormBoundAggregator::stream_begin(
+    std::size_t dim) {
+  return std::make_unique<ClipStream>(inner_->stream_begin(dim));
+}
+
+void NormBoundAggregator::stream_absorb(
+    fl::ShardStream& stream, const std::vector<fl::ClientUpdate>& updates,
+    std::size_t row_begin, std::size_t row_end, std::span<const float> global,
+    runtime::ThreadPool* pool) {
+  clip_and_absorb(*inner_, static_cast<ClipStream&>(stream), config_.clip,
+                  updates, row_begin, row_end, global, pool);
+}
+
+tensor::FlatVec NormBoundAggregator::stream_finish(
+    fl::ShardStream& stream, std::span<const float> global) {
+  auto& s = static_cast<ClipStream&>(stream);
+  tensor::FlatVec agg = inner_->stream_finish(*s.inner_stream, global);
+  if (config_.noise_std > 0.0) {
+    for (auto& v : agg) {
+      v = static_cast<float>(v + rng_.normal(0.0, config_.noise_std));
+    }
+  }
+  return agg;
 }
 
 tensor::FlatVec NormBoundAggregator::do_aggregate(
@@ -46,6 +103,41 @@ DpAggregator::DpAggregator(DpConfig config,
   if (config_.clip <= 0.0 || config_.noise_multiplier < 0.0) {
     throw std::invalid_argument("DpAggregator: bad config");
   }
+}
+
+fl::ShardCapability DpAggregator::shard_capability() const {
+  return inner_->shard_capability() == fl::ShardCapability::streaming
+             ? fl::ShardCapability::streaming
+             : fl::ShardCapability::cohort_only;
+}
+
+std::unique_ptr<fl::ShardStream> DpAggregator::stream_begin(std::size_t dim) {
+  return std::make_unique<ClipStream>(inner_->stream_begin(dim));
+}
+
+void DpAggregator::stream_absorb(fl::ShardStream& stream,
+                                 const std::vector<fl::ClientUpdate>& updates,
+                                 std::size_t row_begin, std::size_t row_end,
+                                 std::span<const float> global,
+                                 runtime::ThreadPool* pool) {
+  clip_and_absorb(*inner_, static_cast<ClipStream&>(stream), config_.clip,
+                  updates, row_begin, row_end, global, pool);
+}
+
+tensor::FlatVec DpAggregator::stream_finish(fl::ShardStream& stream,
+                                            std::span<const float> global) {
+  auto& s = static_cast<ClipStream&>(stream);
+  tensor::FlatVec agg = inner_->stream_finish(*s.inner_stream, global);
+  const double sigma = config_.user_level
+                           ? config_.noise_multiplier * config_.clip
+                           : config_.noise_multiplier * config_.clip /
+                                 static_cast<double>(s.n_updates);
+  if (sigma > 0.0) {
+    for (auto& v : agg) {
+      v = static_cast<float>(v + rng_.normal(0.0, sigma));
+    }
+  }
+  return agg;
 }
 
 tensor::FlatVec DpAggregator::do_aggregate(

@@ -29,6 +29,19 @@ class NormBoundAggregator : public fl::Aggregator {
                       std::unique_ptr<fl::Aggregator> inner, stats::Rng rng);
 
   std::string name() const override { return "norm-bound"; }
+
+  // Clip-then-average is a per-update map followed by the inner fold, so
+  // it streams whenever the inner rule does (noise is a finish epilogue).
+  fl::ShardCapability shard_capability() const override;
+  std::unique_ptr<fl::ShardStream> stream_begin(std::size_t dim) override;
+  void stream_absorb(fl::ShardStream& stream,
+                     const std::vector<fl::ClientUpdate>& updates,
+                     std::size_t row_begin, std::size_t row_end,
+                     std::span<const float> global,
+                     runtime::ThreadPool* pool) override;
+  tensor::FlatVec stream_finish(fl::ShardStream& stream,
+                                std::span<const float> global) override;
+
   void save_state(fl::StateWriter& w) const override {
     w.write_rng(rng_);
     inner_->save_state(w);
@@ -64,6 +77,19 @@ class DpAggregator : public fl::Aggregator {
                stats::Rng rng);
 
   std::string name() const override { return "dp"; }
+
+  // Streams like NormBound; the noise scale needs the total participant
+  // count, which the stream accumulates across absorbed row ranges.
+  fl::ShardCapability shard_capability() const override;
+  std::unique_ptr<fl::ShardStream> stream_begin(std::size_t dim) override;
+  void stream_absorb(fl::ShardStream& stream,
+                     const std::vector<fl::ClientUpdate>& updates,
+                     std::size_t row_begin, std::size_t row_end,
+                     std::span<const float> global,
+                     runtime::ThreadPool* pool) override;
+  tensor::FlatVec stream_finish(fl::ShardStream& stream,
+                                std::span<const float> global) override;
+
   void save_state(fl::StateWriter& w) const override {
     w.write_rng(rng_);
     inner_->save_state(w);

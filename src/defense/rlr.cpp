@@ -3,7 +3,6 @@
 #include <stdexcept>
 
 #include "defense/defense_kernels.h"
-#include "fl/update_matrix.h"
 
 namespace collapois::defense {
 
@@ -19,10 +18,22 @@ tensor::FlatVec RlrAggregator::do_aggregate(
   if (updates.empty()) {
     throw std::invalid_argument("RlrAggregator: no updates");
   }
-  fl::UpdateMatrix matrix(updates);
-  tensor::FlatVec out(matrix.cols());
-  defense_ops().rlr_vote(matrix, config_.threshold, out.data(), pool);
+  matrix_.pack(updates);
+  tensor::FlatVec out(matrix_.cols());
+  defense_ops().rlr_vote(matrix_, config_.threshold, out.data(), pool);
   return out;
+}
+
+void RlrAggregator::aggregate_columns(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> /*global*/, std::size_t col_begin,
+    std::size_t col_end, float* out, runtime::ThreadPool* pool) {
+  if (updates.empty()) {
+    throw std::invalid_argument("RlrAggregator: no updates");
+  }
+  fl::UpdateMatrix slice;
+  slice.pack_columns(updates, col_begin, col_end);
+  defense_ops().rlr_vote(slice, config_.threshold, out, pool);
 }
 
 SignSgdAggregator::SignSgdAggregator(SignSgdConfig config) : config_(config) {
@@ -37,10 +48,22 @@ tensor::FlatVec SignSgdAggregator::do_aggregate(
   if (updates.empty()) {
     throw std::invalid_argument("SignSgdAggregator: no updates");
   }
-  fl::UpdateMatrix matrix(updates);
-  tensor::FlatVec out(matrix.cols());
-  defense_ops().sign_vote(matrix, config_.step, out.data(), pool);
+  matrix_.pack(updates);
+  tensor::FlatVec out(matrix_.cols());
+  defense_ops().sign_vote(matrix_, config_.step, out.data(), pool);
   return out;
+}
+
+void SignSgdAggregator::aggregate_columns(
+    const std::vector<fl::ClientUpdate>& updates,
+    std::span<const float> /*global*/, std::size_t col_begin,
+    std::size_t col_end, float* out, runtime::ThreadPool* pool) {
+  if (updates.empty()) {
+    throw std::invalid_argument("SignSgdAggregator: no updates");
+  }
+  fl::UpdateMatrix slice;
+  slice.pack_columns(updates, col_begin, col_end);
+  defense_ops().sign_vote(slice, config_.step, out, pool);
 }
 
 }  // namespace collapois::defense

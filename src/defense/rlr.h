@@ -5,9 +5,13 @@
 //    coordinate.
 //  - SignSGD with majority vote (Bernstein et al.): the aggregate is the
 //    per-coordinate sign of the summed updates, scaled by a step size.
+//
+// Both votes are independent per coordinate, so both declare the
+// `coordinate` shard capability (column-range sharding, DESIGN.md §12).
 #pragma once
 
 #include "fl/aggregator.h"
+#include "fl/update_matrix.h"
 
 namespace collapois::defense {
 
@@ -24,6 +28,14 @@ class RlrAggregator : public fl::Aggregator {
 
   std::string name() const override { return "rlr"; }
 
+  fl::ShardCapability shard_capability() const override {
+    return fl::ShardCapability::coordinate;
+  }
+  void aggregate_columns(const std::vector<fl::ClientUpdate>& updates,
+                         std::span<const float> global, std::size_t col_begin,
+                         std::size_t col_end, float* out,
+                         runtime::ThreadPool* pool) override;
+
  protected:
   tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
                                std::span<const float> global,
@@ -31,6 +43,7 @@ class RlrAggregator : public fl::Aggregator {
 
  private:
   RlrConfig config_;
+  fl::UpdateMatrix matrix_;  // flat-path pack buffer, reused across rounds
 };
 
 struct SignSgdConfig {
@@ -44,6 +57,14 @@ class SignSgdAggregator : public fl::Aggregator {
 
   std::string name() const override { return "signsgd"; }
 
+  fl::ShardCapability shard_capability() const override {
+    return fl::ShardCapability::coordinate;
+  }
+  void aggregate_columns(const std::vector<fl::ClientUpdate>& updates,
+                         std::span<const float> global, std::size_t col_begin,
+                         std::size_t col_end, float* out,
+                         runtime::ThreadPool* pool) override;
+
  protected:
   tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
                                std::span<const float> global,
@@ -51,6 +72,7 @@ class SignSgdAggregator : public fl::Aggregator {
 
  private:
   SignSgdConfig config_;
+  fl::UpdateMatrix matrix_;  // flat-path pack buffer, reused across rounds
 };
 
 }  // namespace collapois::defense

@@ -4,28 +4,60 @@
 
 namespace collapois::fl {
 
-tensor::FlatVec FedAvgAggregator::do_aggregate(
-    const std::vector<ClientUpdate>& updates, std::span<const float> /*global*/,
-    runtime::ThreadPool* /*pool*/) {
-  if (updates.empty()) {
-    throw std::invalid_argument("FedAvgAggregator: no updates");
-  }
-  // Accumulate directly over the updates — no per-update deep copies.
-  const std::size_t dim = updates.front().delta.size();
-  tensor::FlatVec acc = tensor::zeros(dim);
+namespace {
+
+// The FedAvg fold state: running weighted sum + running weight total.
+struct FedAvgStream final : ShardStream {
+  explicit FedAvgStream(std::size_t dim) : acc(tensor::zeros(dim)) {}
+  tensor::FlatVec acc;
   double weight_sum = 0.0;
-  for (const auto& u : updates) {
+};
+
+}  // namespace
+
+std::unique_ptr<ShardStream> FedAvgAggregator::stream_begin(std::size_t dim) {
+  return std::make_unique<FedAvgStream>(dim);
+}
+
+void FedAvgAggregator::stream_absorb(ShardStream& stream,
+                                     const std::vector<ClientUpdate>& updates,
+                                     std::size_t row_begin, std::size_t row_end,
+                                     std::span<const float> /*global*/,
+                                     runtime::ThreadPool* /*pool*/) {
+  auto& s = static_cast<FedAvgStream&>(stream);
+  const std::size_t dim = s.acc.size();
+  // Accumulate directly over the updates — no per-update deep copies.
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const auto& u = updates[i];
     if (u.delta.size() != dim) {
       throw std::invalid_argument("FedAvgAggregator: dimension mismatch");
     }
-    tensor::axpy_inplace(acc, u.weight, u.delta);
-    weight_sum += u.weight;
+    tensor::axpy_inplace(s.acc, u.weight, u.delta);
+    s.weight_sum += u.weight;
   }
-  if (weight_sum <= 0.0) {
+}
+
+tensor::FlatVec FedAvgAggregator::stream_finish(
+    ShardStream& stream, std::span<const float> /*global*/) {
+  auto& s = static_cast<FedAvgStream&>(stream);
+  if (s.weight_sum <= 0.0) {
     throw std::invalid_argument("FedAvgAggregator: non-positive weight sum");
   }
-  tensor::scale_inplace(acc, 1.0 / weight_sum);
-  return acc;
+  tensor::scale_inplace(s.acc, 1.0 / s.weight_sum);
+  return std::move(s.acc);
+}
+
+tensor::FlatVec FedAvgAggregator::do_aggregate(
+    const std::vector<ClientUpdate>& updates, std::span<const float> global,
+    runtime::ThreadPool* pool) {
+  if (updates.empty()) {
+    throw std::invalid_argument("FedAvgAggregator: no updates");
+  }
+  // Flat path == one-shard streaming path by construction: the same fold
+  // over the same admission order.
+  auto stream = stream_begin(updates.front().delta.size());
+  stream_absorb(*stream, updates, 0, updates.size(), global, pool);
+  return stream_finish(*stream, global);
 }
 
 }  // namespace collapois::fl

@@ -1,0 +1,62 @@
+#include "fl/population.h"
+
+#include <stdexcept>
+
+namespace collapois::fl {
+
+Client& BorrowedClientPopulation::client(std::size_t i) {
+  Client* c = clients_->at(i);
+  // Same message the engines threw before populations existed — the
+  // fault suites assert on it.
+  if (c == nullptr) throw std::invalid_argument("run_round: null client");
+  return *c;
+}
+
+void BorrowedClientPopulation::save_state(StateWriter& w) const {
+  w.write_size(clients_->size());
+  for (Client* c : *clients_) {
+    if (c == nullptr) throw std::invalid_argument("run_round: null client");
+    c->save_state(w);
+  }
+}
+
+void BorrowedClientPopulation::load_state(StateReader& r) {
+  const std::size_t n = r.read_size();
+  if (n != clients_->size()) {
+    throw std::runtime_error(
+        "BorrowedClientPopulation::load_state: client count mismatch");
+  }
+  for (Client* c : *clients_) {
+    if (c == nullptr) throw std::invalid_argument("run_round: null client");
+    c->load_state(r);
+  }
+}
+
+OwningClientPopulation::OwningClientPopulation(
+    std::vector<std::unique_ptr<Client>> clients)
+    : clients_(std::move(clients)) {
+  if (clients_.empty()) {
+    throw std::invalid_argument("ServerAlgorithm: no clients");
+  }
+  for (const auto& c : clients_) {
+    if (!c) throw std::invalid_argument("ServerAlgorithm: null client");
+  }
+}
+
+void OwningClientPopulation::save_state(StateWriter& w) const {
+  // Byte-identical to the pre-population ServerAlgorithm layout: count,
+  // then each client's state in index order.
+  w.write_size(clients_.size());
+  for (const auto& c : clients_) c->save_state(w);
+}
+
+void OwningClientPopulation::load_state(StateReader& r) {
+  const std::size_t n = r.read_size();
+  if (n != clients_.size()) {
+    throw std::runtime_error(
+        "ServerAlgorithm::load_state: client count mismatch");
+  }
+  for (auto& c : clients_) c->load_state(r);
+}
+
+}  // namespace collapois::fl

@@ -1,0 +1,84 @@
+// Client populations: the round engines' view of "who can be sampled".
+//
+// The engines only ever need three things — the registered population
+// size, a client reference for an index that was actually sampled, and
+// checkpoint plumbing. Hiding the storage behind this interface is what
+// makes the cross-device regime affordable: a lazy population
+// (agg/lazy_population.h) materializes clients on first sample instead
+// of at startup, so memory follows the number of distinct participants
+// (10²–10³ per round) rather than the registered population (10⁵–10⁶).
+//
+// The eager implementations here preserve the pre-population behavior
+// bit-for-bit: OwningClientPopulation serializes exactly the old
+// ServerAlgorithm client-blob layout, and BorrowedClientPopulation
+// throws the same "run_round: null client" the engines used to.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fl/client.h"
+#include "fl/state.h"
+
+namespace collapois::fl {
+
+class ClientPopulation {
+ public:
+  virtual ~ClientPopulation() = default;
+
+  // Number of registered clients (NOT the number instantiated).
+  virtual std::size_t size() const = 0;
+
+  // The client at index i, materializing it on demand. Never returns a
+  // dangling reference: implementations own or borrow storage that
+  // outlives the population. Throws on a null/out-of-range entry.
+  // Thread-safety: concurrent calls with DISTINCT indices are safe (the
+  // eval sweep relies on it); lazy implementations guard materialization
+  // internally.
+  virtual Client& client(std::size_t i) = 0;
+
+  // Number of clients currently instantiated — equals size() for the
+  // eager implementations, and the distinct-participant count for lazy
+  // ones. Surfaced in RoundTelemetry for the scale benches.
+  virtual std::size_t materialized() const = 0;
+
+  // Checkpoint plumbing for the clients' mutable state.
+  virtual void save_state(StateWriter& w) const = 0;
+  virtual void load_state(StateReader& r) = 0;
+};
+
+// Non-owning view over a caller-held pointer vector — the adapter behind
+// the Server::run_round(const std::vector<Client*>&) overload.
+class BorrowedClientPopulation final : public ClientPopulation {
+ public:
+  explicit BorrowedClientPopulation(const std::vector<Client*>& clients)
+      : clients_(&clients) {}
+
+  std::size_t size() const override { return clients_->size(); }
+  Client& client(std::size_t i) override;
+  std::size_t materialized() const override { return clients_->size(); }
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
+ private:
+  const std::vector<Client*>* clients_;
+};
+
+// Eagerly constructed, owned clients — the pre-population default.
+class OwningClientPopulation final : public ClientPopulation {
+ public:
+  // Throws on an empty vector or a null entry.
+  explicit OwningClientPopulation(
+      std::vector<std::unique_ptr<Client>> clients);
+
+  std::size_t size() const override { return clients_.size(); }
+  Client& client(std::size_t i) override { return *clients_.at(i); }
+  std::size_t materialized() const override { return clients_.size(); }
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
+
+ private:
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace collapois::fl

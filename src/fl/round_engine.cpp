@@ -8,6 +8,7 @@
 
 #include "net/envelope.h"
 #include "runtime/parallel.h"
+#include "runtime/rss.h"
 #include "runtime/timer.h"
 
 namespace collapois::fl {
@@ -53,28 +54,25 @@ bool all_finite(std::span<const float> v) {
 
 // Sample the base cohort: one Bernoulli draw per client, in client order,
 // regardless of thread count — the sampling stream is part of the
-// checkpointable state and must not depend on the pool. The null check is
-// folded into the same pass and applied only to clients that were
-// actually sampled. Both engines share this draw pattern, so switching
-// engines never perturbs the sampling stream's shape per call.
+// checkpointable state and must not depend on the pool. Touching
+// pop.client(i) only for sampled indices is the lazy-population contract
+// (instantiate on sample) and doubles as the null check borrowed
+// populations used to do here. Both engines share this draw pattern, so
+// switching engines never perturbs the sampling stream's shape per call.
 std::vector<std::size_t> sample_base_cohort(stats::Rng& rng, double q,
-                                            const std::vector<Client*>& clients) {
+                                            ClientPopulation& pop) {
   std::vector<std::size_t> picked;
-  for (std::size_t i = 0; i < clients.size(); ++i) {
+  for (std::size_t i = 0; i < pop.size(); ++i) {
     if (rng.bernoulli(q)) {
-      if (clients[i] == nullptr) {
-        throw std::invalid_argument("run_round: null client");
-      }
+      (void)pop.client(i);
       picked.push_back(i);
     }
   }
   if (picked.empty()) {
     // Guarantee progress: sample one client uniformly.
     const std::size_t i =
-        static_cast<std::size_t>(rng.uniform_int(clients.size()));
-    if (clients[i] == nullptr) {
-      throw std::invalid_argument("run_round: null client");
-    }
+        static_cast<std::size_t>(rng.uniform_int(pop.size()));
+    (void)pop.client(i);
     picked.push_back(i);
   }
   return picked;
@@ -105,8 +103,8 @@ RoundEngineKind parse_round_engine(const std::string& name) {
 // ---------------------------------------------------------------------------
 
 RoundTelemetry SyncRoundEngine::run_round(Server& server,
-                                          const std::vector<Client*>& clients) {
-  if (clients.empty()) throw std::invalid_argument("run_round: no clients");
+                                          ClientPopulation& pop) {
+  if (pop.size() == 0) throw std::invalid_argument("run_round: no clients");
   const auto round_start = wall_now();
 
   const ServerConfig& cfg = config(server);
@@ -121,7 +119,7 @@ RoundTelemetry SyncRoundEngine::run_round(Server& server,
   const bool net_on = cfg.net != nullptr && cfg.net->config().enabled;
 
   std::vector<std::size_t> picked =
-      sample_base_cohort(rng, cfg.sample_prob, clients);
+      sample_base_cohort(rng, cfg.sample_prob, pop);
   // The target cohort size k: over-provisioned extras below raise the
   // number of clients that TRAIN, but the server still aggregates at most
   // k arrivals. With the transport disabled k == cohort and nothing here
@@ -129,15 +127,15 @@ RoundTelemetry SyncRoundEngine::run_round(Server& server,
   // pre-transport code path.
   const std::size_t target_cohort = picked.size();
   if (net_on && cfg.net->config().over_sample > 0.0 &&
-      picked.size() < clients.size()) {
+      picked.size() < pop.size()) {
     const auto want = static_cast<std::size_t>(std::ceil(
         (1.0 + cfg.net->config().over_sample) *
         static_cast<double>(target_cohort)));
-    std::vector<char> in_cohort(clients.size(), 0);
+    std::vector<char> in_cohort(pop.size(), 0);
     for (std::size_t i : picked) in_cohort[i] = 1;
     std::vector<std::size_t> complement;
-    complement.reserve(clients.size() - picked.size());
-    for (std::size_t i = 0; i < clients.size(); ++i) {
+    complement.reserve(pop.size() - picked.size());
+    for (std::size_t i = 0; i < pop.size(); ++i) {
       if (!in_cohort[i]) complement.push_back(i);
     }
     const std::size_t extras =
@@ -149,15 +147,13 @@ RoundTelemetry SyncRoundEngine::run_round(Server& server,
     std::sort(drawn.begin(), drawn.end());
     for (std::size_t d : drawn) {
       const std::size_t i = complement[d];
-      if (clients[i] == nullptr) {
-        throw std::invalid_argument("run_round: null client");
-      }
+      (void)pop.client(i);
       picked.push_back(i);
     }
   }
   std::vector<Client*> sampled;
   sampled.reserve(picked.size());
-  for (std::size_t i : picked) sampled.push_back(clients[i]);
+  for (std::size_t i : picked) sampled.push_back(&pop.client(i));
   t.cohort_size = sampled.size();
   t.n_dispatched = sampled.size();
 
@@ -301,6 +297,8 @@ RoundTelemetry SyncRoundEngine::run_round(Server& server,
     if (net_on) cfg.net->accumulate_round(t.transport);
     ++round;
     t.wall_ms = ms_since(round_start);
+    t.peak_rss_bytes = runtime::peak_rss_bytes();
+    t.n_materialized = pop.materialized();
   };
 
   if (t.updates.empty()) {
@@ -369,9 +367,9 @@ const net::NetworkModel* BufferedAsyncRoundEngine::relaxed_net(
   return relaxed_net_.get();
 }
 
-RoundTelemetry BufferedAsyncRoundEngine::run_round(
-    Server& server, const std::vector<Client*>& clients) {
-  if (clients.empty()) throw std::invalid_argument("run_round: no clients");
+RoundTelemetry BufferedAsyncRoundEngine::run_round(Server& server,
+                                                   ClientPopulation& pop) {
+  if (pop.size() == 0) throw std::invalid_argument("run_round: no clients");
   const auto round_start = wall_now();
 
   const ServerConfig& cfg = config(server);
@@ -389,17 +387,21 @@ RoundTelemetry BufferedAsyncRoundEngine::run_round(
   // barrier-world mitigation for deadline misses; here a slow update is
   // admitted late instead of replaced.
   const std::vector<std::size_t> picked =
-      sample_base_cohort(rng, cfg.sample_prob, clients);
+      sample_base_cohort(rng, cfg.sample_prob, pop);
   t.n_dispatched = picked.size();
 
   // 2. Train the cohort in parallel against the CURRENT global model.
   // Results land by sampling index, so everything downstream is
-  // bit-identical for any pool size.
+  // bit-identical for any pool size. The cohort pointers are resolved
+  // sequentially first so lazy materialization never races the pool.
+  std::vector<Client*> cohort;
+  cohort.reserve(picked.size());
+  for (std::size_t i : picked) cohort.push_back(&pop.client(i));
   RoundContext ctx{round, params};
   const auto train_start = wall_now();
   std::vector<ClientUpdate> incoming = runtime::parallel_map(
-      cfg.pool, picked.size(),
-      [&](std::size_t i) { return clients[picked[i]]->compute_update(ctx); });
+      cfg.pool, cohort.size(),
+      [&](std::size_t i) { return cohort[i]->compute_update(ctx); });
   t.train_ms = ms_since(train_start);
 
   // 3. Resolve dispatch-time fates and enqueue deliveries as future
@@ -409,7 +411,7 @@ RoundTelemetry BufferedAsyncRoundEngine::run_round(
   const double dispatch_ms = clock_.now_ms;
   std::size_t n_trained = 0;
   for (std::size_t i = 0; i < picked.size(); ++i) {
-    Client* c = clients[picked[i]];
+    Client* c = cohort[i];
     ClientUpdate u = std::move(incoming[i]);
     if (u.status == UpdateStatus::dropped) {
       t.dropped_ids.push_back(c->id());
@@ -469,7 +471,7 @@ RoundTelemetry BufferedAsyncRoundEngine::run_round(
     auto ev = buffer_.pop();
     last_admitted_ms = std::max(last_admitted_ms, ev.key.time_ms);
     const std::size_t launch_round = static_cast<std::size_t>(ev.key.round);
-    Client* c = clients[ev.payload.client_index];
+    Client* c = &pop.client(ev.payload.client_index);
     ClientUpdate u = std::move(ev.payload.update);
     // Total staleness: rounds the update sat in the buffer plus the
     // compute-layer straggler lag it already carried.
@@ -523,6 +525,8 @@ RoundTelemetry BufferedAsyncRoundEngine::run_round(
     if (net_on) config(server).net->accumulate_round(t.transport);
     ++round;
     t.wall_ms = ms_since(round_start);
+    t.peak_rss_bytes = runtime::peak_rss_bytes();
+    t.n_materialized = pop.materialized();
   };
   if (t.updates.empty()) {
     t.aggregate_skipped = true;

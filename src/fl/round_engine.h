@@ -61,9 +61,9 @@ class RoundEngine {
   virtual ~RoundEngine() = default;
 
   // Execute one round (sync) / one cycle (buffered_async) against the
-  // server's state and population.
-  virtual RoundTelemetry run_round(Server& server,
-                                   const std::vector<Client*>& clients) = 0;
+  // server's state and population. Engines only touch clients the round
+  // actually samples, so lazy populations stay lazy.
+  virtual RoundTelemetry run_round(Server& server, ClientPopulation& pop) = 0;
 
   virtual const char* name() const = 0;
 
@@ -86,8 +86,7 @@ class RoundEngine {
 // The barrier loop (pre-engine behavior, bit-exact).
 class SyncRoundEngine final : public RoundEngine {
  public:
-  RoundTelemetry run_round(Server& server,
-                           const std::vector<Client*>& clients) override;
+  RoundTelemetry run_round(Server& server, ClientPopulation& pop) override;
   const char* name() const override { return "sync"; }
   void save_state(StateWriter& w) const override;
   void load_state(StateReader& r) override;
@@ -100,8 +99,7 @@ class BufferedAsyncRoundEngine final : public RoundEngine {
   // trigger, t_ms finite and non-negative.
   explicit BufferedAsyncRoundEngine(AsyncConfig async);
 
-  RoundTelemetry run_round(Server& server,
-                           const std::vector<Client*>& clients) override;
+  RoundTelemetry run_round(Server& server, ClientPopulation& pop) override;
   const char* name() const override { return "buffered_async"; }
   void save_state(StateWriter& w) const override;
   void load_state(StateReader& r) override;

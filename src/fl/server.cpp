@@ -46,7 +46,12 @@ Server::Server(tensor::FlatVec initial_params, std::unique_ptr<Aggregator> agg,
 Server::~Server() = default;
 
 RoundTelemetry Server::run_round(const std::vector<Client*>& clients) {
-  return engine_->run_round(*this, clients);
+  BorrowedClientPopulation population(clients);
+  return engine_->run_round(*this, population);
+}
+
+RoundTelemetry Server::run_round(ClientPopulation& population) {
+  return engine_->run_round(*this, population);
 }
 
 void Server::save_state(StateWriter& w) const {

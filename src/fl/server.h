@@ -12,6 +12,7 @@
 
 #include "fl/aggregator.h"
 #include "fl/client.h"
+#include "fl/population.h"
 #include "net/network_model.h"
 #include "runtime/thread_pool.h"
 #include "stats/rng.h"
@@ -173,6 +174,15 @@ struct RoundTelemetry {
   // dropouts never compute) divided by train_ms — the throughput number
   // bench_runtime_scaling sweeps.
   double clients_per_sec = 0.0;
+
+  // Scale-out observability (DESIGN.md §12): the process's peak resident
+  // set in bytes (runtime::peak_rss_bytes; 0 where /proc is unavailable)
+  // and the number of clients instantiated in the population after this
+  // round — equal to the population size for eager populations, the
+  // distinct-participant count for lazy ones. Like the timing fields,
+  // these are observability, not state: never checkpointed.
+  std::size_t peak_rss_bytes = 0;
+  std::size_t n_materialized = 0;
 };
 
 class Server {
@@ -198,6 +208,11 @@ class Server {
   //    run. When nothing is aggregated the round is skipped with
   //    telemetry.
   RoundTelemetry run_round(const std::vector<Client*>& clients);
+
+  // Same round semantics against any client population — lazy ones
+  // materialize exactly the clients the round samples. The pointer-vector
+  // overload above is a thin adapter over this one.
+  RoundTelemetry run_round(ClientPopulation& population);
 
   const tensor::FlatVec& global_params() const { return params_; }
   void set_global_params(tensor::FlatVec p) { params_ = std::move(p); }

@@ -10,22 +10,31 @@ ServerAlgorithm::ServerAlgorithm(std::string name,
                                  ServerConfig config,
                                  std::vector<std::unique_ptr<Client>> clients,
                                  stats::Rng rng)
+    : ServerAlgorithm(
+          std::move(name), std::move(initial_params), std::move(agg), config,
+          std::make_unique<OwningClientPopulation>(std::move(clients)),
+          std::move(rng)) {}
+
+ServerAlgorithm::ServerAlgorithm(std::string name,
+                                 tensor::FlatVec initial_params,
+                                 std::unique_ptr<Aggregator> agg,
+                                 ServerConfig config,
+                                 std::unique_ptr<ClientPopulation> population,
+                                 stats::Rng rng)
     : name_(std::move(name)),
-      clients_(std::move(clients)),
+      population_(std::move(population)),
       server_(std::move(initial_params), std::move(agg), config,
               std::move(rng)) {
-  if (clients_.empty()) {
-    throw std::invalid_argument("ServerAlgorithm: no clients");
+  if (!population_) {
+    throw std::invalid_argument("ServerAlgorithm: null population");
   }
-  raw_clients_.reserve(clients_.size());
-  for (auto& c : clients_) {
-    if (!c) throw std::invalid_argument("ServerAlgorithm: null client");
-    raw_clients_.push_back(c.get());
+  if (population_->size() == 0) {
+    throw std::invalid_argument("ServerAlgorithm: no clients");
   }
 }
 
 RoundTelemetry ServerAlgorithm::run_round() {
-  return server_.run_round(raw_clients_);
+  return server_.run_round(*population_);
 }
 
 tensor::FlatVec ServerAlgorithm::global_params() const {
@@ -34,23 +43,18 @@ tensor::FlatVec ServerAlgorithm::global_params() const {
 
 tensor::FlatVec ServerAlgorithm::client_eval_params(
     std::size_t client_index) {
-  return clients_.at(client_index)->eval_params(server_.global_params());
+  return population_->client(client_index)
+      .eval_params(server_.global_params());
 }
 
 void ServerAlgorithm::save_state(StateWriter& w) const {
   server_.save_state(w);
-  w.write_size(clients_.size());
-  for (const auto& c : clients_) c->save_state(w);
+  population_->save_state(w);
 }
 
 void ServerAlgorithm::load_state(StateReader& r) {
   server_.load_state(r);
-  const std::size_t n = r.read_size();
-  if (n != clients_.size()) {
-    throw std::runtime_error(
-        "ServerAlgorithm::load_state: client count mismatch");
-  }
-  for (auto& c : clients_) c->load_state(r);
+  population_->load_state(r);
 }
 
 }  // namespace collapois::fl

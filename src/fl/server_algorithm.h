@@ -1,37 +1,50 @@
 // Server-mediated federated training (FedAvg and FedDC): a Server plus an
 // owned client population. Which algorithm it is follows from the client
-// type (BenignClient vs FedDcClient) and the aggregator plugged in.
+// type (BenignClient vs FedDcClient) and the aggregator plugged in. The
+// population may be eager (the pre-scale default, every client built at
+// startup) or lazy (agg/lazy_population.h, clients built on first
+// sample) — the algorithm is indifferent.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "fl/algorithm.h"
+#include "fl/population.h"
 
 namespace collapois::fl {
 
 class ServerAlgorithm : public FlAlgorithm {
  public:
+  // Eager construction: wraps the clients in an OwningClientPopulation
+  // (identical behavior and checkpoint bytes to the pre-population code).
   ServerAlgorithm(std::string name, tensor::FlatVec initial_params,
                   std::unique_ptr<Aggregator> agg, ServerConfig config,
                   std::vector<std::unique_ptr<Client>> clients,
                   stats::Rng rng);
 
+  // Population-based construction, for lazy (or otherwise custom)
+  // populations.
+  ServerAlgorithm(std::string name, tensor::FlatVec initial_params,
+                  std::unique_ptr<Aggregator> agg, ServerConfig config,
+                  std::unique_ptr<ClientPopulation> population,
+                  stats::Rng rng);
+
   RoundTelemetry run_round() override;
   tensor::FlatVec global_params() const override;
   tensor::FlatVec client_eval_params(std::size_t client_index) override;
-  std::size_t num_clients() const override { return clients_.size(); }
+  std::size_t num_clients() const override { return population_->size(); }
   std::string name() const override { return name_; }
   void save_state(StateWriter& w) const override;
   void load_state(StateReader& r) override;
 
   Server& server() { return server_; }
-  Client& client(std::size_t i) { return *clients_.at(i); }
+  Client& client(std::size_t i) { return population_->client(i); }
+  const ClientPopulation& population() const { return *population_; }
 
  private:
   std::string name_;
-  std::vector<std::unique_ptr<Client>> clients_;
-  std::vector<Client*> raw_clients_;
+  std::unique_ptr<ClientPopulation> population_;
   Server server_;
 };
 

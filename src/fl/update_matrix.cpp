@@ -6,23 +6,48 @@
 namespace collapois::fl {
 
 UpdateMatrix::UpdateMatrix(const std::vector<ClientUpdate>& updates) {
+  pack(updates);
+}
+
+void UpdateMatrix::reserve(std::size_t rows, std::size_t cols) {
+  data_.reserve(rows * cols);
+  sqnorm_.reserve(rows);
+}
+
+void UpdateMatrix::pack(const std::vector<ClientUpdate>& updates) {
   if (updates.empty()) {
     throw std::invalid_argument("UpdateMatrix: no updates");
   }
+  pack_columns(updates, 0, updates.front().delta.size());
+}
+
+void UpdateMatrix::pack_columns(const std::vector<ClientUpdate>& updates,
+                                std::size_t col_begin, std::size_t col_end) {
+  if (updates.empty()) {
+    throw std::invalid_argument("UpdateMatrix: no updates");
+  }
+  const std::size_t full_d = updates.front().delta.size();
+  if (col_begin > col_end || col_end > full_d) {
+    throw std::invalid_argument("UpdateMatrix: invalid column range");
+  }
   n_ = updates.size();
-  d_ = updates.front().delta.size();
+  d_ = col_end - col_begin;
   data_.resize(n_ * d_);
   sqnorm_.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) {
     const auto& delta = updates[i].delta;
-    if (delta.size() != d_) {
+    if (delta.size() != full_d) {
       throw std::invalid_argument("UpdateMatrix: dimension mismatch");
     }
     if (d_ > 0) {
-      std::memcpy(data_.data() + i * d_, delta.data(), d_ * sizeof(float));
+      std::memcpy(data_.data() + i * d_, delta.data() + col_begin,
+                  d_ * sizeof(float));
     }
     double s = 0.0;
-    for (float x : delta) s += static_cast<double>(x) * static_cast<double>(x);
+    for (std::size_t j = col_begin; j < col_end; ++j) {
+      const double x = delta[j];
+      s += x * x;
+    }
     sqnorm_[i] = s;
   }
 }

@@ -12,6 +12,14 @@
 //
 // Row squared norms are precomputed with double accumulation — they feed
 // the Gram identity ||a_i - a_j||^2 = ||a_i||^2 + ||a_j||^2 - 2 G_ij.
+//
+// The matrix is reusable across rounds: pack() keeps the backing buffers
+// (vector::resize never shrinks capacity), and reserve() pre-sizes them
+// from a row-capacity hint so steady-state aggregation does zero heap
+// allocations. pack_columns() packs only a [col_begin, col_end) column
+// slice — the shard tree (DESIGN.md §12) uses it to run coordinate-wise
+// defenses over column ranges without materializing the full n x d
+// buffer per shard.
 #pragma once
 
 #include <span>
@@ -29,6 +37,21 @@ class UpdateMatrix {
   // deltas disagree in dimension (the server validates upstream; direct
   // users get the same loud failure).
   explicit UpdateMatrix(const std::vector<ClientUpdate>& updates);
+
+  // Pre-sizes the backing buffers for `rows` updates of dimension `cols`
+  // so later pack() calls at or under that shape allocate nothing.
+  void reserve(std::size_t rows, std::size_t cols);
+
+  // Re-packs the matrix in place, reusing the existing capacity. Same
+  // validation and resulting state as the packing constructor.
+  void pack(const std::vector<ClientUpdate>& updates);
+
+  // Packs only columns [col_begin, col_end) of each update: the result is
+  // an [n x (col_end - col_begin)] matrix whose column j holds original
+  // coordinate col_begin + j. Row sqnorms are over the slice. Throws on
+  // an empty list, a dimension mismatch, or an invalid column range.
+  void pack_columns(const std::vector<ClientUpdate>& updates,
+                    std::size_t col_begin, std::size_t col_end);
 
   std::size_t rows() const { return n_; }
   std::size_t cols() const { return d_; }

@@ -15,7 +15,20 @@ std::vector<ClientEval> evaluate_clients(fl::FlAlgorithm& algo,
                                          const nn::Model& architecture,
                                          const std::vector<bool>& compromised,
                                          const EvalConfig& config) {
-  const std::size_t n = fed.num_clients();
+  return evaluate_clients(
+      algo, fed.num_clients(),
+      [&fed](std::size_t i) -> const data::ClientSplit& {
+        return fed.clients[i];
+      },
+      eval_trigger, architecture, compromised, config);
+}
+
+std::vector<ClientEval> evaluate_clients(
+    fl::FlAlgorithm& algo, std::size_t n_clients,
+    const std::function<const data::ClientSplit&(std::size_t)>& split_of,
+    const trojan::Trigger& eval_trigger, const nn::Model& architecture,
+    const std::vector<bool>& compromised, const EvalConfig& config) {
+  const std::size_t n = n_clients;
   if (algo.num_clients() != n || compromised.size() != n) {
     throw std::invalid_argument("evaluate_clients: population size mismatch");
   }
@@ -42,7 +55,7 @@ std::vector<ClientEval> evaluate_clients(fl::FlAlgorithm& algo,
     ClientEval e;
     e.client_index = i;
     e.compromised = compromised[i];
-    const data::Dataset& test = fed.clients[i].test;
+    const data::Dataset& test = split_of(i).test;
     if (!test.empty()) {
       e.has_test_data = true;
       nn::Model model = architecture;

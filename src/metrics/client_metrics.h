@@ -9,6 +9,7 @@
 // Population metrics are the averages over benign clients.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -52,6 +53,16 @@ std::vector<ClientEval> evaluate_clients(fl::FlAlgorithm& algo,
                                          const nn::Model& architecture,
                                          const std::vector<bool>& compromised,
                                          const EvalConfig& config);
+
+// Same sweep against an arbitrary split provider — the lazy-population
+// path, where indexing a materialized FederatedData would defeat
+// on-demand generation. `split_of(i)` must be safe to call concurrently
+// for distinct indices and return a reference that outlives the sweep.
+std::vector<ClientEval> evaluate_clients(
+    fl::FlAlgorithm& algo, std::size_t n_clients,
+    const std::function<const data::ClientSplit&(std::size_t)>& split_of,
+    const trojan::Trigger& eval_trigger, const nn::Model& architecture,
+    const std::vector<bool>& compromised, const EvalConfig& config);
 
 struct PopulationMetrics {
   double benign_ac = 0.0;

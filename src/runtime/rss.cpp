@@ -1,0 +1,44 @@
+#include "runtime/rss.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+namespace collapois::runtime {
+
+namespace {
+
+// Scan /proc/self/status for a "Key:   12345 kB" line and return the
+// value in bytes; 0 when the file or the key is missing.
+std::size_t status_field_bytes(const char* key) {
+  std::ifstream in("/proc/self/status");
+  if (!in) return 0;
+  const std::size_t key_len = std::strlen(key);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.compare(0, key_len, key) != 0) continue;
+    std::size_t kb = 0;
+    if (std::sscanf(line.c_str() + key_len, " %zu", &kb) == 1) {
+      return kb * 1024;
+    }
+    return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() { return status_field_bytes("VmHWM:"); }
+
+std::size_t current_rss_bytes() { return status_field_bytes("VmRSS:"); }
+
+bool reset_peak_rss() {
+  std::ofstream out("/proc/self/clear_refs");
+  if (!out) return false;
+  out << "5";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace collapois::runtime

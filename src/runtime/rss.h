@@ -1,0 +1,28 @@
+// Process-memory probes for the scale-out telemetry (DESIGN.md §12).
+//
+// peak_rss_bytes() is the high-water mark of the process's resident set
+// (Linux VmHWM) — the number the cross-device benches gate on: a lazy
+// 10^5-client population must keep it sublinear in the registered
+// population. Reading it costs one small /proc read, cheap enough to
+// sample once per round into RoundTelemetry.
+#pragma once
+
+#include <cstddef>
+
+namespace collapois::runtime {
+
+// Peak resident set size of this process in bytes (VmHWM from
+// /proc/self/status). Returns 0 on platforms without procfs — callers
+// treat 0 as "unavailable", never as "no memory".
+std::size_t peak_rss_bytes();
+
+// Current resident set size in bytes (VmRSS); 0 when unavailable.
+std::size_t current_rss_bytes();
+
+// Reset the peak-RSS watermark to the current RSS (writes "5" to
+// /proc/self/clear_refs). Returns true on success; benches use this to
+// measure per-phase peaks, and fall back to monotone ascending-order
+// ratios when the kernel refuses the write.
+bool reset_peak_rss();
+
+}  // namespace collapois::runtime

@@ -14,7 +14,9 @@ constexpr std::uint64_t kMagic = 0x434f4c4c41504b54ULL;  // "COLLAPKT"
 // v2: net_fingerprint + net_state (the simulated transport layer).
 // v3: engine_fingerprint (the round-engine selection; the engine's own
 //     mutable state rides inside algo_state via Server::save_state).
-constexpr std::uint64_t kVersion = 3;
+// v4: scale_fingerprint (shard topology + population mode; a lazy
+//     population's algo_state stores only the materialized subset).
+constexpr std::uint64_t kVersion = 4;
 
 std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -96,6 +98,13 @@ std::uint64_t engine_fingerprint(const ExperimentConfig& c) {
   return h;
 }
 
+std::uint64_t scale_fingerprint(const ExperimentConfig& c) {
+  std::uint64_t h = 0xa4093822299f31d0ULL;
+  h = mix(h, c.shards);
+  h = mix(h, c.lazy_clients ? 1 : 0);
+  return h;
+}
+
 void save_checkpoint_file(const std::string& path, const Checkpoint& ck) {
   fl::StateWriter w;
   w.write_u64(kMagic);
@@ -103,6 +112,7 @@ void save_checkpoint_file(const std::string& path, const Checkpoint& ck) {
   w.write_u64(ck.fingerprint);
   w.write_u64(ck.net_fingerprint);
   w.write_u64(ck.engine_fingerprint);
+  w.write_u64(ck.scale_fingerprint);
   w.write_size(ck.rounds_completed);
   for (std::uint64_t s : ck.run_rng.s) w.write_u64(s);
   w.write_double(ck.run_rng.cached_normal);
@@ -143,6 +153,7 @@ Checkpoint load_checkpoint_file(const std::string& path) {
   ck.fingerprint = r.read_u64();
   ck.net_fingerprint = r.read_u64();
   ck.engine_fingerprint = r.read_u64();
+  ck.scale_fingerprint = r.read_u64();
   ck.rounds_completed = r.read_size();
   for (std::uint64_t& s : ck.run_rng.s) s = r.read_u64();
   ck.run_rng.cached_normal = r.read_double();

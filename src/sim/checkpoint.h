@@ -39,6 +39,14 @@ struct Checkpoint {
   // under different K/T/staleness knobs) would splice two different
   // schedules — the mismatch must fail loudly, naming the engine.
   std::uint64_t engine_fingerprint = 0;
+  // Fingerprint of the scale-out topology (scale_fingerprint below).
+  // Separate so a resume under a different shard count or population
+  // mode fails naming --shards/--lazy-clients rather than with a generic
+  // config mismatch. Lazy runs are a different deterministic universe
+  // than eager ones (per-client derived data seeds), and the lazy
+  // algorithm blob stores only the materialized subset — neither can be
+  // spliced across modes.
+  std::uint64_t scale_fingerprint = 0;
   std::size_t rounds_completed = 0;
   stats::Rng::State run_rng;
   // The attacker's shared Trojaned model (empty while unarmed).
@@ -68,6 +76,14 @@ std::uint64_t net_fingerprint(const net::NetConfig& config);
 // configs hash the aggregation triggers and the staleness cutoff, since
 // any of them changes the admission schedule.
 std::uint64_t engine_fingerprint(const ExperimentConfig& config);
+
+// Hash of the scale-out topology: shard count and population mode.
+// Sharding is bit-transparent for capability-declared defenses, but the
+// shard count is fingerprinted anyway — it is part of the run's declared
+// topology, and pinning it keeps the invariance property testable rather
+// than assumed. Every flat-eager config (shards == 1, lazy off) maps to
+// the same fingerprint.
+std::uint64_t scale_fingerprint(const ExperimentConfig& config);
 
 void save_checkpoint_file(const std::string& path, const Checkpoint& ck);
 Checkpoint load_checkpoint_file(const std::string& path);

@@ -112,6 +112,25 @@ struct ExperimentConfig {
   fl::RoundEngineKind round_engine = fl::RoundEngineKind::sync;
   fl::AsyncConfig async;
 
+  // Cross-device scale-out (src/agg/, DESIGN.md §12).
+  //
+  // Shard count for the aggregation tree: the server partitions each
+  // round's cohort across this many shard aggregators and combines the
+  // results at the root. 1 = the flat path, byte-for-byte. Results are
+  // bit-identical to flat for every defense that declares a sharding
+  // capability (FedAvg and the coordinate-wise rules); the pairwise-
+  // distance rules (Krum, Multi-Krum, FLARE) need the whole cohort and
+  // fail loudly for shards > 1. Server-mediated algorithms only.
+  std::size_t shards = 1;
+  // Materialize clients (and their synthetic local data) on first
+  // sample instead of at startup, so memory follows the number of
+  // distinct participants rather than the registered population. Lazy
+  // runs are their own deterministic universe (per-client derived data
+  // seeds — see agg/lazy_federation.h) and require eval_max_clients > 0
+  // (evaluating all of a 10^6-client population would re-materialize
+  // it). Server-mediated algorithms only.
+  bool lazy_clients = false;
+
   // Evaluation.
   std::size_t eval_every = 0;        // 0 = final round only
   std::size_t eval_max_clients = 0;  // 0 = all (final eval is always all)

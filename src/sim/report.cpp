@@ -112,6 +112,14 @@ void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
       }
       os << "]}";
     }
+    if (config.shards > 1 || config.lazy_clients) {
+      // Per-round scale block: the memory story of the sharded/lazy
+      // regime (peak RSS so far, distinct clients instantiated).
+      os << ", \"scale\": {\"shards\": " << config.shards
+         << ", \"lazy\": " << (config.lazy_clients ? "true" : "false")
+         << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
+         << ", \"materialized\": " << r.n_materialized << "}";
+    }
     if (r.population.has_value()) {
       os << ", \"benign_ac\": " << r.population->benign_ac
          << ", \"attack_sr\": " << r.population->attack_sr;

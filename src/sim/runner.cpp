@@ -1,8 +1,12 @@
 #include "sim/runner.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
+#include "agg/lazy_federation.h"
+#include "agg/lazy_population.h"
+#include "agg/sharded_aggregator.h"
 #include "attacks/poison_training_client.h"
 #include "data/partition.h"
 #include "defense/ditto.h"
@@ -25,7 +29,10 @@ namespace collapois::sim {
 namespace {
 
 struct Workbench {
-  data::FederatedData fed;
+  data::FederatedData fed;  // eager mode; empty under lazy_clients
+  // Lazy mode: per-client splits generated on first request from derived
+  // seeds (agg/lazy_federation.h); null in eager mode.
+  std::unique_ptr<agg::LazyFederation> lazy_fed;
   nn::Model architecture;                      // shared structure + theta^1
   std::unique_ptr<trojan::Trigger> eval_trigger;
   // Per-compromised-client training triggers (DBA parts; otherwise clones
@@ -33,15 +40,34 @@ struct Workbench {
   std::vector<std::unique_ptr<trojan::Trigger>> train_triggers;
   std::size_t image_h = 0;
   std::size_t image_w = 0;
+
+  // Mode-independent access to client i's local data. References stay
+  // valid for the workbench's lifetime in both modes (vector built once;
+  // map nodes are stable).
+  const data::ClientSplit& client_data(std::size_t i) {
+    return lazy_fed ? lazy_fed->client_data(i) : fed.clients[i];
+  }
+  std::size_t num_classes() const {
+    return lazy_fed ? lazy_fed->num_classes() : fed.num_classes;
+  }
 };
 
 Workbench build_workbench(const ExperimentConfig& cfg, stats::Rng& rng) {
   Workbench wb;
   if (cfg.dataset == DatasetKind::femnist_like) {
     data::SyntheticImageConfig icfg;
-    data::SyntheticImageGenerator gen(icfg, rng.next_u64());
-    wb.fed = data::build_federation(gen, cfg.n_clients,
-                                    cfg.samples_per_client, cfg.alpha, rng);
+    const std::uint64_t data_seed = rng.next_u64();
+    data::SyntheticImageGenerator gen(icfg, data_seed);
+    if (cfg.lazy_clients) {
+      wb.lazy_fed = std::make_unique<agg::LazyFederation>(
+          cfg.n_clients, icfg.num_classes,
+          agg::make_dirichlet_split_factory(gen, data_seed,
+                                            cfg.samples_per_client,
+                                            cfg.alpha));
+    } else {
+      wb.fed = data::build_federation(gen, cfg.n_clients,
+                                      cfg.samples_per_client, cfg.alpha, rng);
+    }
     nn::LeNetConfig mcfg;
     mcfg.height = icfg.height;
     mcfg.width = icfg.width;
@@ -68,9 +94,18 @@ Workbench build_workbench(const ExperimentConfig& cfg, stats::Rng& rng) {
     }
   } else {
     data::SyntheticTextConfig tcfg;
-    data::SyntheticTextGenerator gen(tcfg, rng.next_u64());
-    wb.fed = data::build_federation(gen, cfg.n_clients,
-                                    cfg.samples_per_client, cfg.alpha, rng);
+    const std::uint64_t data_seed = rng.next_u64();
+    data::SyntheticTextGenerator gen(tcfg, data_seed);
+    if (cfg.lazy_clients) {
+      wb.lazy_fed = std::make_unique<agg::LazyFederation>(
+          cfg.n_clients, tcfg.num_classes,
+          agg::make_dirichlet_split_factory(gen, data_seed,
+                                            cfg.samples_per_client,
+                                            cfg.alpha));
+    } else {
+      wb.fed = data::build_federation(gen, cfg.n_clients,
+                                      cfg.samples_per_client, cfg.alpha, rng);
+    }
     nn::MlpConfig mcfg;
     mcfg.input_dim = tcfg.embedding_dim;
     mcfg.num_classes = tcfg.num_classes;
@@ -101,6 +136,28 @@ bool attack_needs_x(AttackKind kind) {
 ExperimentResult run_experiment(const ExperimentConfig& cfg,
                                 const RunOptions& options) {
   if (cfg.rounds == 0) throw std::invalid_argument("run_experiment: 0 rounds");
+
+  // --- scale-out validation ----------------------------------------------
+  if (cfg.shards == 0) {
+    throw std::invalid_argument("run_experiment: --shards must be >= 1");
+  }
+  if (cfg.shards > cfg.n_clients) {
+    throw std::invalid_argument(
+        "run_experiment: --shards exceeds the registered population — a "
+        "shard without any possible member is a configuration error");
+  }
+  if ((cfg.shards > 1 || cfg.lazy_clients) &&
+      cfg.algorithm == AlgorithmKind::metafed) {
+    throw std::invalid_argument(
+        "run_experiment: the sharded aggregation tree and lazy populations "
+        "scale the server's round loop and do not apply to MetaFed");
+  }
+  if (cfg.lazy_clients && cfg.eval_max_clients == 0) {
+    throw std::invalid_argument(
+        "run_experiment: --lazy-clients requires --eval-max-clients > 0 — "
+        "evaluating every client would materialize the whole registered "
+        "population and defeat lazy instantiation");
+  }
 
   // Select the compute-kernel set before any client math runs (and before
   // the pool spawns — workers only ever read the registry).
@@ -135,13 +192,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   // --- Trojaned model X (Eq. 1) ----------------------------------------
   data::Dataset auxiliary;
   if (cfg.attack != AttackKind::none) {
+    // Under lazy_clients this materializes exactly the compromised
+    // clients' splits — which their client objects need cached anyway.
     std::vector<const data::Dataset*> parts;
     for (std::size_t id : result.compromised_ids) {
-      parts.push_back(&wb.fed.clients[id].validation);
+      parts.push_back(&wb.client_data(id).validation);
       if (!cfg.aux_validation_only) {
         // Threat-model D_a = union of the compromised clients' local
         // datasets (see ExperimentConfig::aux_validation_only).
-        parts.push_back(&wb.fed.clients[id].train);
+        parts.push_back(&wb.client_data(id).train);
       }
     }
     auxiliary = core::pool_auxiliary_data(parts);
@@ -149,12 +208,31 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
       // Degenerate split: fall back to the full local data.
       parts.clear();
       for (std::size_t id : result.compromised_ids) {
-        parts.push_back(&wb.fed.clients[id].train);
+        parts.push_back(&wb.client_data(id).train);
       }
       auxiliary = core::pool_auxiliary_data(parts);
     }
     result.auxiliary_histogram = auxiliary.label_histogram();
   }
+  // --- fault model -------------------------------------------------------
+  // Created before the clients so both construction paths (the eager loop
+  // below and the lazy factory) can wrap clients in the fault decorator.
+  std::shared_ptr<fl::FaultModel> fault_model;
+  if (cfg.faults.any()) {
+    if (cfg.algorithm == AlgorithmKind::metafed) {
+      throw std::invalid_argument(
+          "run_experiment: fault injection targets the server's update "
+          "channel and does not apply to MetaFed");
+    }
+    fault_model = std::make_shared<fl::FaultModel>(cfg.faults);
+    if (cfg.round_engine == fl::RoundEngineKind::buffered_async) {
+      // Overlapping cohorts observe out of round order and buffered
+      // updates can legally be admitted up to max_staleness rounds after
+      // launch: widen the stale-model retention window accordingly.
+      fault_model->set_extra_retention(cfg.async.max_staleness + 1);
+    }
+  }
+
   // --- client population ------------------------------------------------
   // X-based attack clients start dormant (benign behaviour on their own
   // data); the attacker strikes at attack_start_round, training X from the
@@ -179,64 +257,98 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
       -> std::unique_ptr<fl::Client> {
     if (cfg.defense == defense::DefenseKind::ditto) {
       return std::make_unique<defense::DittoClient>(
-          i, &wb.fed.clients[i].train, wb.architecture, cfg.local_sgd,
+          i, &wb.client_data(i).train, wb.architecture, cfg.local_sgd,
           defense::DittoConfig{cfg.defense_params.ditto_lambda, 1},
           cfg.metafed_distill_weight, std::move(crng));
     }
     if (cfg.algorithm == AlgorithmKind::feddc) {
       return std::make_unique<fl::FedDcClient>(
-          i, &wb.fed.clients[i].train, wb.architecture, cfg.local_sgd,
+          i, &wb.client_data(i).train, wb.architecture, cfg.local_sgd,
           cfg.feddc_penalty, cfg.metafed_distill_weight, std::move(crng));
     }
     return std::make_unique<fl::BenignClient>(
-        i, &wb.fed.clients[i].train, wb.architecture, cfg.local_sgd,
+        i, &wb.client_data(i).train, wb.architecture, cfg.local_sgd,
         cfg.metafed_distill_weight, std::move(crng));
   };
-  std::size_t dba_part = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    stats::Rng crng = rng.fork();
-    if (!compromised[i]) {
-      clients.push_back(make_benign(i, std::move(crng)));
-      continue;
-    }
+  // Builds client i with its per-client RNG already positioned — shared
+  // between the eager loop (forked stream) and the lazy factory (derived
+  // seeds). `dba_ordinal` is i's rank among the compromised ids, which
+  // for the eager id-order loop reproduces the original running counter.
+  auto make_client = [&](std::size_t i, stats::Rng crng,
+                         std::size_t dba_ordinal)
+      -> std::unique_ptr<fl::Client> {
+    if (!compromised[i]) return make_benign(i, std::move(crng));
     switch (cfg.attack) {
       case AttackKind::collapois: {
+        // Clients materialized after the strike are born armed:
+        // result.trojaned_model is empty until arm_attackers() runs (and
+        // is restored before any lazy materialization on resume).
         auto c = std::make_unique<core::CollaPoisClient>(
-            i, tensor::FlatVec{}, cfg.collapois, crng.fork(),
+            i, result.trojaned_model, cfg.collapois, crng.fork(),
             make_benign(i, std::move(crng)));
         collapois_clients.push_back(c.get());
-        clients.push_back(std::move(c));
-        break;
+        return c;
       }
       case AttackKind::mrepl: {
         attacks::MReplConfig mc = cfg.mrepl;
         mc.boost = mrepl_boost;
         auto c = std::make_unique<attacks::MReplClient>(
-            i, tensor::FlatVec{}, mc, make_benign(i, std::move(crng)));
+            i, result.trojaned_model, mc, make_benign(i, std::move(crng)));
         mrepl_clients.push_back(c.get());
-        clients.push_back(std::move(c));
-        break;
+        return c;
       }
       case AttackKind::dpois:
-        clients.push_back(attacks::make_dpois_client(
-            i, wb.fed.clients[i].train, *wb.train_triggers[0], cfg.dpois,
+        return attacks::make_dpois_client(
+            i, wb.client_data(i).train, *wb.train_triggers[0], cfg.dpois,
             wb.architecture, cfg.local_sgd, cfg.metafed_distill_weight,
-            std::move(crng)));
-        break;
+            std::move(crng));
       case AttackKind::dba: {
         const auto& part =
-            *wb.train_triggers[dba_part % wb.train_triggers.size()];
-        ++dba_part;
+            *wb.train_triggers[dba_ordinal % wb.train_triggers.size()];
         data::Dataset poisoned = trojan::mix_poison(
-            wb.fed.clients[i].train, part, cfg.dba.target_label,
+            wb.client_data(i).train, part, cfg.dba.target_label,
             cfg.dba.poison_fraction, crng);
-        clients.push_back(std::make_unique<attacks::PoisonTrainingClient>(
+        return std::make_unique<attacks::PoisonTrainingClient>(
             i, std::move(poisoned), wb.architecture, cfg.local_sgd,
-            cfg.metafed_distill_weight, std::move(crng)));
-        break;
+            cfg.metafed_distill_weight, std::move(crng));
       }
       case AttackKind::none:
-        throw std::logic_error("unreachable");
+        break;
+    }
+    throw std::logic_error("unreachable");
+  };
+  agg::LazyClientPopulation::Factory lazy_factory;
+  if (cfg.lazy_clients) {
+    // Lazy universe: per-client RNGs come from index-derived seeds (a
+    // client materialized at round 50 is byte-identical to the same
+    // client materialized at round 0), and the DBA part is the client's
+    // rank among the compromised ids — both pure functions of i, so the
+    // materialization order cannot matter.
+    const std::uint64_t client_seed_base = rng.next_u64();
+    std::vector<std::size_t> sorted_compromised = result.compromised_ids;
+    std::sort(sorted_compromised.begin(), sorted_compromised.end());
+    lazy_factory = [&, client_seed_base, fault_model,
+                    sorted_compromised](std::size_t i)
+        -> std::unique_ptr<fl::Client> {
+      // Serialized by the population's materialization lock, so the
+      // attack-client registries need no extra guard.
+      stats::Rng crng(agg::derive_client_seed(client_seed_base, i));
+      const std::size_t ordinal = static_cast<std::size_t>(
+          std::lower_bound(sorted_compromised.begin(),
+                           sorted_compromised.end(), i) -
+          sorted_compromised.begin());
+      auto c = make_client(i, std::move(crng), ordinal);
+      if (fault_model) {
+        c = std::make_unique<fl::FaultyClient>(std::move(c), fault_model);
+      }
+      return c;
+    };
+  } else {
+    std::size_t dba_part = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      stats::Rng crng = rng.fork();
+      clients.push_back(make_client(i, std::move(crng), dba_part));
+      if (compromised[i]) ++dba_part;
     }
   }
 
@@ -244,21 +356,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   // Wrap every client (benign and compromised alike — churn is
   // environmental) in the fault decorator. The raw attack-client pointers
   // captured above stay valid: the wrapper owns the inner client without
-  // moving it.
-  std::shared_ptr<fl::FaultModel> fault_model;
-  if (cfg.faults.any()) {
-    if (cfg.algorithm == AlgorithmKind::metafed) {
-      throw std::invalid_argument(
-          "run_experiment: fault injection targets the server's update "
-          "channel and does not apply to MetaFed");
-    }
-    fault_model = std::make_shared<fl::FaultModel>(cfg.faults);
-    if (cfg.round_engine == fl::RoundEngineKind::buffered_async) {
-      // Overlapping cohorts observe out of round order and buffered
-      // updates can legally be admitted up to max_staleness rounds after
-      // launch: widen the stale-model retention window accordingly.
-      fault_model->set_extra_retention(cfg.async.max_staleness + 1);
-    }
+  // moving it. The lazy factory applies the same wrap per materialized
+  // client.
+  if (fault_model) {
     for (auto& c : clients) {
       c = std::make_unique<fl::FaultyClient>(std::move(c), fault_model);
     }
@@ -305,8 +405,14 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     algo = std::make_unique<fl::MetaFedAlgorithm>(
         std::move(clients), wb.architecture, mcfg, rng.fork());
   } else {
-    auto agg = defense::make_defense(cfg.defense, cfg.defense_params,
-                                     rng.fork());
+    auto aggregator = defense::make_defense(cfg.defense, cfg.defense_params,
+                                            rng.fork());
+    if (cfg.shards > 1) {
+      // The aggregation tree root (agg/sharded_aggregator.h). Throws here
+      // — before any round runs — when the defense is cohort_only.
+      aggregator = std::make_unique<agg::ShardedAggregator>(
+          std::move(aggregator), cfg.shards);
+    }
     fl::ServerConfig scfg;
     scfg.learning_rate = cfg.server_lr;
     scfg.sample_prob = cfg.sample_prob;
@@ -315,10 +421,19 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     scfg.net = net_model.get();
     scfg.engine = cfg.round_engine;
     scfg.async = cfg.async;
-    algo = std::make_unique<fl::ServerAlgorithm>(
-        std::string(algorithm_name(cfg.algorithm)),
-        wb.architecture.get_parameters(), std::move(agg), scfg,
-        std::move(clients), rng.fork());
+    if (cfg.lazy_clients) {
+      algo = std::make_unique<fl::ServerAlgorithm>(
+          std::string(algorithm_name(cfg.algorithm)),
+          wb.architecture.get_parameters(), std::move(aggregator), scfg,
+          std::make_unique<agg::LazyClientPopulation>(
+              n, std::move(lazy_factory)),
+          rng.fork());
+    } else {
+      algo = std::make_unique<fl::ServerAlgorithm>(
+          std::string(algorithm_name(cfg.algorithm)),
+          wb.architecture.get_parameters(), std::move(aggregator), scfg,
+          std::move(clients), rng.fork());
+    }
   }
 
   // --- round loop ---------------------------------------------------------
@@ -326,6 +441,22 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   periodic_eval.target_label = cfg.target_label;
   periodic_eval.max_clients = cfg.eval_max_clients;
   periodic_eval.pool = pool.get();
+
+  // Mode-independent evaluation sweep: eager mode indexes the built
+  // federation; lazy mode goes through the split provider so only the
+  // evaluated clients' data materializes.
+  auto eval_clients = [&](const metrics::EvalConfig& ec) {
+    if (cfg.lazy_clients) {
+      return metrics::evaluate_clients(
+          *algo, n,
+          [&](std::size_t i) -> const data::ClientSplit& {
+            return wb.client_data(i);
+          },
+          *wb.eval_trigger, wb.architecture, compromised, ec);
+    }
+    return metrics::evaluate_clients(*algo, wb.fed, *wb.eval_trigger,
+                                     wb.architecture, compromised, ec);
+  };
 
   auto arm_attackers = [&]() {
     if (!attack_needs_x(cfg.attack) || !result.trojaned_model.empty()) return;
@@ -369,6 +500,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
           "knob (--async-k/--async-t-ms/--async-max-staleness) changed "
           "since the checkpoint; resume with the exact round-engine "
           "configuration the checkpoint was taken under");
+    }
+    if (ck.scale_fingerprint != scale_fingerprint(cfg)) {
+      throw std::invalid_argument(
+          "run_experiment: checkpoint was saved under a different scale-out "
+          "topology — the shard count (--shards) or the population mode "
+          "(--lazy-clients) changed since the checkpoint; lazy and eager "
+          "runs are different deterministic universes and the lazy state "
+          "blob stores only the materialized subset, so resume with the "
+          "exact scale configuration the checkpoint was taken under");
     }
     if (ck.rounds_completed > cfg.rounds) {
       throw std::invalid_argument(
@@ -434,16 +574,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     rec.train_ms = telemetry.train_ms;
     rec.agg_ms = telemetry.agg_ms;
     rec.clients_per_sec = telemetry.clients_per_sec;
+    rec.peak_rss_bytes = telemetry.peak_rss_bytes;
+    rec.n_materialized = telemetry.n_materialized;
     if (!result.trojaned_model.empty() &&
         cfg.algorithm != AlgorithmKind::metafed) {
       rec.distance_to_x = stats::l2_distance(algo->global_params(),
                                              result.trojaned_model);
     }
     if (cfg.eval_every > 0 && (t + 1) % cfg.eval_every == 0) {
-      const auto evals =
-          metrics::evaluate_clients(*algo, wb.fed, *wb.eval_trigger,
-                                    wb.architecture, compromised,
-                                    periodic_eval);
+      const auto evals = eval_clients(periodic_eval);
       rec.population = metrics::average_benign(evals);
     }
     result.rounds.push_back(std::move(rec));
@@ -461,6 +600,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     ck.fingerprint = config_fingerprint(cfg);
     ck.net_fingerprint = net_fingerprint(cfg.net);
     ck.engine_fingerprint = engine_fingerprint(cfg);
+    ck.scale_fingerprint = scale_fingerprint(cfg);
     ck.rounds_completed = stop_round;
     ck.run_rng = rng.state();
     ck.trojaned_model = result.trojaned_model;
@@ -484,16 +624,27 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   result.final_global = algo->global_params();
   metrics::EvalConfig final_eval;
   final_eval.target_label = cfg.target_label;
-  final_eval.max_clients = 0;
+  // Lazy mode keeps the eval_max_clients bound even for the final sweep:
+  // evaluating the full registered population would materialize it.
+  final_eval.max_clients = cfg.lazy_clients ? cfg.eval_max_clients : 0;
   final_eval.pool = pool.get();
-  result.final_evals = metrics::evaluate_clients(
-      *algo, wb.fed, *wb.eval_trigger, wb.architecture, compromised,
-      final_eval);
+  result.final_evals = eval_clients(final_eval);
   result.population = metrics::average_benign(result.final_evals);
 
-  const auto histograms = wb.fed.client_label_histograms();
+  // The proximity analysis only reads the evaluated clients' histograms,
+  // so lazy mode fills exactly those slots (their splits are already
+  // cached by the sweep above).
+  std::vector<std::vector<double>> histograms;
+  if (cfg.lazy_clients) {
+    histograms.resize(n);
+    for (const auto& e : result.final_evals) {
+      histograms[e.client_index] = wb.lazy_fed->client_histogram(e.client_index);
+    }
+  } else {
+    histograms = wb.fed.client_label_histograms();
+  }
   std::vector<double> aux_hist = result.auxiliary_histogram;
-  if (aux_hist.empty()) aux_hist.assign(wb.fed.num_classes, 1.0);
+  if (aux_hist.empty()) aux_hist.assign(wb.num_classes(), 1.0);
   result.clusters = metrics::risk_clusters(result.final_evals, {1, 25, 50},
                                            histograms, aux_hist);
   return result;

@@ -55,6 +55,13 @@ struct RoundRecord {
   // The server-side aggregation slice of wall_ms (the defense hot path).
   double agg_ms = 0.0;
   double clients_per_sec = 0.0;
+
+  // Scale telemetry (see fl::RoundTelemetry): process peak RSS after the
+  // round (runtime::peak_rss_bytes; 0 where /proc is unavailable) and the
+  // number of clients instantiated so far (== n_clients for eager
+  // populations). Observability only, like the timing fields.
+  std::size_t peak_rss_bytes = 0;
+  std::size_t n_materialized = 0;
 };
 
 struct ExperimentResult {

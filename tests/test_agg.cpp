@@ -1,0 +1,546 @@
+// The sharded aggregation tree and lazy population (src/agg/).
+//
+// The headline properties:
+//  - shard invariance: for every defense that declares a sharding
+//    capability, the sharded result is BIT-IDENTICAL to the flat path
+//    for any shard count and any thread count — at the aggregator level
+//    and through full experiments (sync and buffered-async engines);
+//  - loud failure: the pairwise-distance rules (Krum, Multi-Krum, FLARE)
+//    refuse to shard at construction time;
+//  - lazy determinism: materialization order cannot matter, lazy runs
+//    reproduce each other exactly, and checkpoint/resume under
+//    sharding + laziness is bit-exact across thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "agg/lazy_federation.h"
+#include "agg/lazy_population.h"
+#include "agg/shard_plan.h"
+#include "agg/sharded_aggregator.h"
+#include "data/synthetic_text.h"
+#include "defense/registry.h"
+#include "fl/update_matrix.h"
+#include "runtime/rss.h"
+#include "runtime/thread_pool.h"
+#include "sim/checkpoint.h"
+#include "sim/runner.h"
+
+namespace collapois {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(std::string name)
+      : path_(::testing::TempDir() + std::move(name)) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void expect_bits_equal(const tensor::FlatVec& a, const tensor::FlatVec& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0);
+}
+
+std::vector<fl::ClientUpdate> synth_updates(std::size_t n, std::size_t d,
+                                            std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<fl::ClientUpdate> updates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    updates[i].client_id = i;
+    updates[i].weight = 0.5 + rng.uniform();
+    updates[i].delta.resize(d);
+    for (float& v : updates[i].delta) {
+      v = static_cast<float>(rng.normal());
+    }
+  }
+  return updates;
+}
+
+// ---------------------------------------------------------------- ShardPlan
+
+TEST(ShardPlan, BalancedContiguousAscending) {
+  const auto plan = agg::plan_shards(13, 4);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0].begin, 0u);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    EXPECT_GT(plan[s].size(), 0u);
+    if (s > 0) {
+      EXPECT_EQ(plan[s].begin, plan[s - 1].end);
+    }
+    total += plan[s].size();
+  }
+  EXPECT_EQ(plan.back().end, 13u);
+  EXPECT_EQ(total, 13u);
+  // Sizes differ by at most one, larger ranges first: 4,3,3,3.
+  EXPECT_EQ(plan[0].size(), 4u);
+  EXPECT_EQ(plan[3].size(), 3u);
+}
+
+TEST(ShardPlan, ClampsAndEdgeCases) {
+  EXPECT_EQ(agg::plan_shards(3, 8).size(), 3u);  // never an empty shard
+  EXPECT_TRUE(agg::plan_shards(0, 4).empty());
+  EXPECT_THROW(agg::plan_shards(5, 0), std::invalid_argument);
+  const auto one = agg::plan_shards(7, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].begin, 0u);
+  EXPECT_EQ(one[0].end, 7u);
+}
+
+// ------------------------------------------------------- aggregator level
+
+// Every capability-declaring defense: sharded output must be bit-equal to
+// the flat path for every shard count, over two consecutive rounds (the
+// second round catches noise-RNG streams drifting out of sync).
+TEST(ShardInvariance, EveryShardableDefenseBitEqualToFlat) {
+  using defense::DefenseKind;
+  const DefenseKind kinds[] = {
+      DefenseKind::none,        DefenseKind::dp,
+      DefenseKind::user_dp,     DefenseKind::norm_bound,
+      DefenseKind::crfl,        DefenseKind::coord_median,
+      DefenseKind::trimmed_mean, DefenseKind::rlr,
+      DefenseKind::sign_sgd,    DefenseKind::ditto,
+  };
+  runtime::ThreadPool pool(3);
+  const defense::DefenseParams params;
+  const auto round1 = synth_updates(13, 37, 21);
+  const auto round2 = synth_updates(13, 37, 22);
+  tensor::FlatVec global(37, 0.25f);
+  for (DefenseKind kind : kinds) {
+    SCOPED_TRACE(defense::defense_name(kind));
+    auto flat = defense::make_defense(kind, params, stats::Rng(99));
+    const auto flat1 = flat->aggregate(round1, global);
+    const auto flat2 = flat->aggregate(round2, global);
+    for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE(shards);
+      agg::ShardedAggregator sharded(
+          defense::make_defense(kind, params, stats::Rng(99)), shards);
+      EXPECT_NE(sharded.shard_capability(), fl::ShardCapability::cohort_only);
+      expect_bits_equal(flat1, sharded.aggregate(round1, global, &pool));
+      expect_bits_equal(flat2, sharded.aggregate(round2, global, &pool));
+    }
+  }
+}
+
+TEST(ShardInvariance, ThreadCountDoesNotChangeShardedResult) {
+  const auto updates = synth_updates(9, 41, 5);
+  tensor::FlatVec global(41, -0.5f);
+  const defense::DefenseParams params;
+  agg::ShardedAggregator seq(
+      defense::make_defense(defense::DefenseKind::trimmed_mean, params,
+                            stats::Rng(4)),
+      4);
+  const auto sequential = seq.aggregate(updates, global, nullptr);
+  runtime::ThreadPool pool(4);
+  agg::ShardedAggregator par(
+      defense::make_defense(defense::DefenseKind::trimmed_mean, params,
+                            stats::Rng(4)),
+      4);
+  expect_bits_equal(sequential, par.aggregate(updates, global, &pool));
+}
+
+TEST(ShardedAggregator, CohortOnlyRulesFailLoudlyBeyondOneShard) {
+  using defense::DefenseKind;
+  const defense::DefenseParams params;
+  for (DefenseKind kind :
+       {DefenseKind::krum, DefenseKind::multi_krum, DefenseKind::flare}) {
+    SCOPED_TRACE(defense::defense_name(kind));
+    try {
+      agg::ShardedAggregator bad(
+          defense::make_defense(kind, params, stats::Rng(1)), 2);
+      FAIL() << "expected the cohort_only constructor throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("cohort_only"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("--shards 1"), std::string::npos);
+    }
+    // One shard is the flat path and stays legal for every rule.
+    agg::ShardedAggregator one(
+        defense::make_defense(kind, params, stats::Rng(7)), 1);
+    auto flat = defense::make_defense(kind, params, stats::Rng(7));
+    const auto updates = synth_updates(6, 17, 3);
+    expect_bits_equal(flat->aggregate(updates, {}),
+                      one.aggregate(updates, {}));
+  }
+}
+
+TEST(ShardedAggregator, ConstructionValidationAndTransparency) {
+  EXPECT_THROW(agg::ShardedAggregator(nullptr, 2), std::invalid_argument);
+  EXPECT_THROW(
+      agg::ShardedAggregator(
+          defense::make_defense(defense::DefenseKind::none, {}, stats::Rng(1)),
+          0),
+      std::invalid_argument);
+  agg::ShardedAggregator wrapped(
+      defense::make_defense(defense::DefenseKind::coord_median, {},
+                            stats::Rng(1)),
+      4);
+  EXPECT_EQ(wrapped.name(), "coord-median");  // transparent to telemetry
+  EXPECT_EQ(wrapped.shards(), 4u);
+}
+
+// ------------------------------------------------------------ full system
+
+sim::ExperimentConfig scale_cfg() {
+  sim::ExperimentConfig cfg;
+  cfg.dataset = sim::DatasetKind::sentiment_like;
+  cfg.attack = sim::AttackKind::collapois;
+  cfg.n_clients = 40;
+  cfg.samples_per_client = 30;
+  cfg.sample_prob = 0.3;
+  cfg.rounds = 4;
+  cfg.attack_start_round = 1;
+  cfg.eval_max_clients = 8;
+  cfg.threads = 1;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void expect_same_outcome(const sim::ExperimentResult& a,
+                         const sim::ExperimentResult& b) {
+  expect_bits_equal(a.final_global, b.final_global);
+  ASSERT_EQ(a.final_evals.size(), b.final_evals.size());
+  for (std::size_t i = 0; i < a.final_evals.size(); ++i) {
+    EXPECT_EQ(a.final_evals[i].client_index, b.final_evals[i].client_index);
+    EXPECT_EQ(a.final_evals[i].benign_ac, b.final_evals[i].benign_ac);
+    EXPECT_EQ(a.final_evals[i].attack_sr, b.final_evals[i].attack_sr);
+  }
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t t = 0; t < a.rounds.size(); ++t) {
+    EXPECT_EQ(a.rounds[t].distance_to_x, b.rounds[t].distance_to_x);
+  }
+}
+
+TEST(ShardInvariance, FullExperimentAcrossShardAndThreadCounts) {
+  for (defense::DefenseKind kind :
+       {defense::DefenseKind::trimmed_mean, defense::DefenseKind::dp}) {
+    SCOPED_TRACE(defense::defense_name(kind));
+    auto cfg = scale_cfg();
+    cfg.defense = kind;
+    const auto flat = sim::run_experiment(cfg);
+    for (std::size_t shards : {2u, 4u}) {
+      for (std::size_t threads : {1u, 4u}) {
+        SCOPED_TRACE(shards);
+        SCOPED_TRACE(threads);
+        auto scfg = cfg;
+        scfg.shards = shards;
+        scfg.threads = threads;
+        expect_same_outcome(flat, sim::run_experiment(scfg));
+      }
+    }
+  }
+}
+
+TEST(ShardInvariance, BufferedAsyncEngineShardsBitEqual) {
+  auto cfg = scale_cfg();
+  cfg.defense = defense::DefenseKind::sign_sgd;
+  cfg.round_engine = fl::RoundEngineKind::buffered_async;
+  const auto flat = sim::run_experiment(cfg);
+  auto scfg = cfg;
+  scfg.shards = 4;
+  scfg.threads = 4;
+  expect_same_outcome(flat, sim::run_experiment(scfg));
+}
+
+TEST(ShardInvariance, KrumExperimentRejectsSharding) {
+  auto cfg = scale_cfg();
+  cfg.defense = defense::DefenseKind::krum;
+  cfg.shards = 2;
+  EXPECT_THROW(sim::run_experiment(cfg), std::invalid_argument);
+}
+
+TEST(Scale, RunnerValidatesTopology) {
+  {
+    auto cfg = scale_cfg();
+    cfg.shards = 0;
+    EXPECT_THROW(sim::run_experiment(cfg), std::invalid_argument);
+  }
+  {
+    auto cfg = scale_cfg();
+    cfg.shards = cfg.n_clients + 1;
+    EXPECT_THROW(sim::run_experiment(cfg), std::invalid_argument);
+  }
+  {
+    auto cfg = scale_cfg();
+    cfg.algorithm = sim::AlgorithmKind::metafed;
+    cfg.attack = sim::AttackKind::none;
+    cfg.defense = defense::DefenseKind::none;
+    cfg.shards = 2;
+    EXPECT_THROW(sim::run_experiment(cfg), std::invalid_argument);
+  }
+  {
+    auto cfg = scale_cfg();
+    cfg.lazy_clients = true;
+    cfg.eval_max_clients = 0;  // would materialize the whole population
+    EXPECT_THROW(sim::run_experiment(cfg), std::invalid_argument);
+  }
+}
+
+// ------------------------------------------------------------- lazy layer
+
+TEST(LazySeeds, DerivedSeedsAreOrderFreeAndDistinct) {
+  std::vector<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    seen.push_back(agg::derive_client_seed(42, i));
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+  EXPECT_NE(agg::derive_client_seed(1, 0), agg::derive_client_seed(2, 0));
+  EXPECT_EQ(agg::derive_client_seed(42, 7), agg::derive_client_seed(42, 7));
+}
+
+TEST(LazyFederation, CachesSplitsAndIgnoresMaterializationOrder) {
+  data::SyntheticTextConfig tcfg;
+  auto factory = agg::make_dirichlet_split_factory(
+      data::SyntheticTextGenerator(tcfg, 5), 5, 24, 1.0);
+  agg::LazyFederation fed(10, tcfg.num_classes, factory);
+  EXPECT_EQ(fed.materialized(), 0u);
+  const auto& a = fed.client_data(3);
+  EXPECT_EQ(&a, &fed.client_data(3));  // cached, stable reference
+  EXPECT_EQ(fed.materialized(), 1u);
+  EXPECT_GT(a.train.size(), 0u);
+  EXPECT_THROW(fed.client_data(10), std::out_of_range);
+
+  // A second federation materialized in a different order produces the
+  // same client data: per-client derived seeds, not a shared stream.
+  agg::LazyFederation fed2(10, tcfg.num_classes, factory);
+  (void)fed2.client_data(7);
+  EXPECT_EQ(fed.client_histogram(3), fed2.client_histogram(3));
+
+  const auto hist = fed.client_histogram(3);
+  const double total = std::accumulate(hist.begin(), hist.end(), 0.0);
+  EXPECT_EQ(total, static_cast<double>(a.train.size() + a.test.size() +
+                                       a.validation.size()));
+}
+
+class StubClient final : public fl::Client {
+ public:
+  explicit StubClient(std::size_t id) : id_(id) {}
+  std::size_t id() const override { return id_; }
+  fl::ClientUpdate compute_update(const fl::RoundContext&) override {
+    return {};
+  }
+  void distill_round(nn::Model&, nn::Model&) override {}
+  void save_state(fl::StateWriter& w) const override { w.write_u64(counter); }
+  void load_state(fl::StateReader& r) override { counter = r.read_u64(); }
+
+  std::uint64_t counter = 0;
+
+ private:
+  std::size_t id_;
+};
+
+TEST(LazyPopulation, MaterializesOnDemandAndRoundTripsState) {
+  std::size_t built = 0;
+  auto factory = [&built](std::size_t i) {
+    ++built;
+    return std::make_unique<StubClient>(i);
+  };
+  agg::LazyClientPopulation pop(100, factory);
+  EXPECT_EQ(pop.size(), 100u);
+  EXPECT_EQ(pop.materialized(), 0u);
+  static_cast<StubClient&>(pop.client(7)).counter = 70;
+  static_cast<StubClient&>(pop.client(3)).counter = 30;
+  EXPECT_EQ(&pop.client(7), &pop.client(7));
+  EXPECT_EQ(pop.materialized(), 2u);
+  EXPECT_EQ(built, 2u);
+  EXPECT_THROW(pop.client(100), std::out_of_range);
+
+  // Checkpoint stores only the materialized subset; restore materializes
+  // exactly those clients and their evolved state.
+  fl::StateWriter w;
+  pop.save_state(w);
+  agg::LazyClientPopulation restored(100, factory);
+  fl::StateReader r(w.bytes());
+  restored.load_state(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(restored.materialized(), 2u);
+  EXPECT_EQ(static_cast<StubClient&>(restored.client(3)).counter, 30u);
+  EXPECT_EQ(static_cast<StubClient&>(restored.client(7)).counter, 70u);
+}
+
+TEST(LazyPopulation, RejectsBadConstructionAndBlobs) {
+  auto factory = [](std::size_t i) { return std::make_unique<StubClient>(i); };
+  EXPECT_THROW(agg::LazyClientPopulation(0, factory), std::invalid_argument);
+  EXPECT_THROW(agg::LazyClientPopulation(3, nullptr), std::invalid_argument);
+  agg::LazyClientPopulation small(2, factory);
+  fl::StateWriter w;
+  w.write_size(1);
+  w.write_size(5);  // out-of-range client index
+  fl::StateReader r(w.bytes());
+  EXPECT_THROW(small.load_state(r), std::runtime_error);
+}
+
+sim::ExperimentConfig lazy_cfg() {
+  auto cfg = scale_cfg();
+  cfg.n_clients = 400;
+  cfg.sample_prob = 0.02;
+  cfg.lazy_clients = true;
+  cfg.eval_max_clients = 12;
+  return cfg;
+}
+
+TEST(LazyPopulation, FullExperimentMaterializesOnlyParticipants) {
+  auto cfg = lazy_cfg();
+  cfg.defense = defense::DefenseKind::coord_median;
+  const auto result = sim::run_experiment(cfg);
+  ASSERT_FALSE(result.rounds.empty());
+  const auto& last = result.rounds.back();
+  EXPECT_GT(last.n_materialized, 0u);
+  EXPECT_LT(last.n_materialized, cfg.n_clients);
+  // Materialization only grows.
+  for (std::size_t t = 1; t < result.rounds.size(); ++t) {
+    EXPECT_GE(result.rounds[t].n_materialized,
+              result.rounds[t - 1].n_materialized);
+  }
+}
+
+TEST(LazyPopulation, RunsAreDeterministicAndShardInvariant) {
+  auto cfg = lazy_cfg();
+  cfg.defense = defense::DefenseKind::trimmed_mean;
+  const auto once = sim::run_experiment(cfg);
+  expect_same_outcome(once, sim::run_experiment(cfg));
+  auto scfg = cfg;
+  scfg.shards = 4;
+  scfg.threads = 4;
+  expect_same_outcome(once, sim::run_experiment(scfg));
+}
+
+TEST(LazyPopulation, ShardedCheckpointResumeBitExactAcrossThreads) {
+  auto cfg = lazy_cfg();
+  cfg.defense = defense::DefenseKind::rlr;
+  cfg.shards = 2;
+  cfg.rounds = 6;
+  const auto straight = sim::run_experiment(cfg);
+
+  TempFile ck("agg_lazy_resume.ckpt");
+  sim::RunOptions save;
+  save.checkpoint_save_path = ck.path();
+  save.checkpoint_round = 3;
+  (void)sim::run_experiment(cfg, save);
+
+  sim::RunOptions load;
+  load.checkpoint_load_path = ck.path();
+  auto rcfg = cfg;
+  rcfg.threads = 2;  // thread count is outside the determinism surface
+  const auto resumed = sim::run_experiment(rcfg, load);
+  // A resumed run only records the rounds it executed itself.
+  EXPECT_EQ(resumed.rounds.size(), cfg.rounds - 3);
+  expect_bits_equal(straight.final_global, resumed.final_global);
+  ASSERT_EQ(straight.final_evals.size(), resumed.final_evals.size());
+  for (std::size_t i = 0; i < straight.final_evals.size(); ++i) {
+    EXPECT_EQ(straight.final_evals[i].benign_ac,
+              resumed.final_evals[i].benign_ac);
+    EXPECT_EQ(straight.final_evals[i].attack_sr,
+              resumed.final_evals[i].attack_sr);
+  }
+}
+
+TEST(Scale, ResumeRejectsChangedTopology) {
+  auto cfg = scale_cfg();
+  cfg.defense = defense::DefenseKind::coord_median;
+  cfg.rounds = 4;
+  TempFile ck("agg_scale_mismatch.ckpt");
+  sim::RunOptions save;
+  save.checkpoint_save_path = ck.path();
+  save.checkpoint_round = 2;
+  (void)sim::run_experiment(cfg, save);
+
+  sim::RunOptions load;
+  load.checkpoint_load_path = ck.path();
+  {
+    auto bad = cfg;
+    bad.shards = 2;
+    try {
+      (void)sim::run_experiment(bad, load);
+      FAIL() << "expected the scale-topology mismatch throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("--shards"), std::string::npos);
+    }
+  }
+  {
+    auto bad = cfg;
+    bad.lazy_clients = true;
+    bad.eval_max_clients = 8;
+    EXPECT_THROW(sim::run_experiment(bad, load), std::invalid_argument);
+  }
+  // The unchanged topology still resumes.
+  (void)sim::run_experiment(cfg, load);
+}
+
+TEST(Scale, FingerprintSeparatesTopologiesOnly) {
+  const auto base = scale_cfg();
+  auto same = base;
+  same.seed = 999;  // identity fields live in config_fingerprint, not here
+  EXPECT_EQ(sim::scale_fingerprint(base), sim::scale_fingerprint(same));
+  auto sharded = base;
+  sharded.shards = 2;
+  EXPECT_NE(sim::scale_fingerprint(base), sim::scale_fingerprint(sharded));
+  auto lazy = base;
+  lazy.lazy_clients = true;
+  EXPECT_NE(sim::scale_fingerprint(base), sim::scale_fingerprint(lazy));
+}
+
+// --------------------------------------------------------- rss + matrix
+
+TEST(Rss, ProbesReportPlausibleValues) {
+  const std::size_t cur = runtime::current_rss_bytes();
+  const std::size_t peak = runtime::peak_rss_bytes();
+  if (peak == 0) GTEST_SKIP() << "/proc/self/status unavailable";
+  EXPECT_GT(cur, 0u);
+  EXPECT_LE(cur, peak);
+  // Touching a fresh allocation can only raise the high-water mark.
+  std::vector<char> ballast(8u << 20, 1);
+  EXPECT_GE(runtime::peak_rss_bytes(), peak);
+  EXPECT_NE(ballast[4 << 20], 0);
+}
+
+TEST(UpdateMatrix, PackReusesCapacityAcrossRounds) {
+  auto first = synth_updates(5, 16, 31);
+  fl::UpdateMatrix m;
+  m.reserve(8, 16);
+  m.pack(first);
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 16u);
+  const float* buffer = m.data();
+  auto second = synth_updates(8, 16, 32);
+  m.pack(second);  // fits the reserved capacity: no reallocation
+  EXPECT_EQ(m.rows(), 8u);
+  EXPECT_EQ(m.data(), buffer);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(std::memcmp(m.row(i).data(), second[i].delta.data(),
+                          16 * sizeof(float)),
+              0);
+  }
+}
+
+TEST(UpdateMatrix, PackColumnsSlicesExactly) {
+  auto updates = synth_updates(4, 20, 33);
+  fl::UpdateMatrix slice;
+  slice.pack_columns(updates, 6, 15);
+  EXPECT_EQ(slice.rows(), 4u);
+  EXPECT_EQ(slice.cols(), 9u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double sq = 0.0;
+    for (std::size_t j = 0; j < 9; ++j) {
+      const float v = updates[i].delta[6 + j];
+      EXPECT_EQ(slice.row(i)[j], v);
+      sq += static_cast<double>(v) * static_cast<double>(v);
+    }
+    EXPECT_EQ(slice.row_sqnorm(i), sq);
+  }
+  EXPECT_THROW(slice.pack_columns({}, 0, 1), std::invalid_argument);
+  EXPECT_THROW(slice.pack_columns(updates, 10, 6), std::invalid_argument);
+  EXPECT_THROW(slice.pack_columns(updates, 0, 21), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace collapois

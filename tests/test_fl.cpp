@@ -224,7 +224,9 @@ TEST_F(ServerFixture, MetaFedClipAndNoiseBoundKnowledgeTransfer) {
 TEST(FedAvgAlgorithm, RejectsEmptyPopulation) {
   EXPECT_THROW(ServerAlgorithm("x", {1.0f},
                                std::make_unique<FedAvgAggregator>(),
-                               ServerConfig{1.0, 0.5}, {}, stats::Rng(1)),
+                               ServerConfig{1.0, 0.5},
+                               std::vector<std::unique_ptr<Client>>{},
+                               stats::Rng(1)),
                std::invalid_argument);
 }
 
