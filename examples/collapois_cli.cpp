@@ -102,9 +102,39 @@ cross-device scale-out (DESIGN.md paragraph 12):
   --eval-max-clients N     bound every eval sweep to N uniformly
                            strided clients; 0 = all                 [0]
 
-checkpoint/resume (bit-exact; sim/checkpoint.h):
+infrastructure fault plane (DESIGN.md paragraph 13; every --shard-*
+flag requires --shards > 1 — there is no tree to fault otherwise):
+  --shard-crash F          per-attempt shard crash prob [0, 1]      [0]
+  --shard-timeout F        per-attempt shard timeout prob [0, 1]    [0]
+  --shard-corrupt F        per-attempt corrupt-partial prob [0, 1]  [0]
+                           (detected by the root's digest check and
+                           discarded; failover is bit-exact, so a
+                           degraded round matches flat exactly)
+  --shard-retries N        retries per shard per round              [2]
+  --shard-backoff-base F   first retry backoff, virtual ms >= 0     [10]
+  --shard-backoff-cap F    backoff ceiling, virtual ms >= 0         [80]
+  --shard-fault-seed N     shard-fault decision seed
+
+checkpoint/resume (bit-exact; sim/checkpoint.h + checkpoint_store.h):
   --checkpoint PATH --checkpoint-round N   halt after N rounds, save
-  --resume PATH                            restore and run to --rounds
+  --checkpoint-every N     durable rolling checkpoint every N rounds
+                           (atomic temp+flush+rename write, digest-
+                           verified on load; needs --checkpoint PATH;
+                           the run continues to --rounds)            [0]
+  --checkpoint-keep K      checkpoint generations kept/searched
+                           (PATH, PATH.1, ... PATH.K-1)             [3]
+  --resume PATH            restore the newest INTACT generation and
+                           run to --rounds (damaged heads fall back
+                           down the chain, reported on stderr)
+
+chaos harness (DESIGN.md paragraph 13):
+  --crash-at R[:PHASE]     die deterministically at round R (0-based;
+                           exit code 42 marks the scheduled crash).
+                           PHASE = post-train (before the round's
+                           checkpoint; default) | mid-buffer (right
+                           after it) | mid-save (tear the head file
+                           mid-write); mid-* phases need
+                           --checkpoint-every
 
 output:
   --topk           also print top-1/25/50% infected-client metrics
@@ -175,6 +205,7 @@ int main(int argc, char** argv) {
   sim::ExperimentConfig cfg;
   cfg.attack = sim::AttackKind::collapois;
   sim::RunOptions opts;
+  bool shard_fault_flags = false;
   bool want_topk = false;
   bool want_clusters = false;
   bool want_csv = false;
@@ -283,12 +314,47 @@ int main(int argc, char** argv) {
       } else if (flag == "--async-max-staleness") {
         cfg.async.max_staleness = parse_count(flag, value());
         cfg.round_engine = fl::RoundEngineKind::buffered_async;
+      } else if (flag == "--shard-crash") {
+        cfg.shard_faults.crash_prob = parse_prob(flag, value());
+        shard_fault_flags = true;
+      } else if (flag == "--shard-timeout") {
+        cfg.shard_faults.timeout_prob = parse_prob(flag, value());
+        shard_fault_flags = true;
+      } else if (flag == "--shard-corrupt") {
+        cfg.shard_faults.corrupt_prob = parse_prob(flag, value());
+        shard_fault_flags = true;
+      } else if (flag == "--shard-retries") {
+        cfg.shard_faults.max_retries = parse_count(flag, value());
+        shard_fault_flags = true;
+      } else if (flag == "--shard-backoff-base") {
+        cfg.shard_faults.backoff_base_ms = parse_nonneg(flag, value());
+        shard_fault_flags = true;
+      } else if (flag == "--shard-backoff-cap") {
+        cfg.shard_faults.backoff_cap_ms = parse_nonneg(flag, value());
+        shard_fault_flags = true;
+      } else if (flag == "--shard-fault-seed") {
+        cfg.shard_faults.seed = parse_count(flag, value());
+        shard_fault_flags = true;
       } else if (flag == "--checkpoint") {
         opts.checkpoint_save_path = value();
       } else if (flag == "--checkpoint-round") {
         opts.checkpoint_round = parse_count(flag, value());
+      } else if (flag == "--checkpoint-every") {
+        opts.checkpoint_every = parse_count(flag, value());
+      } else if (flag == "--checkpoint-keep") {
+        opts.checkpoint_keep = parse_count(flag, value());
       } else if (flag == "--resume") {
         opts.checkpoint_load_path = value();
+      } else if (flag == "--crash-at") {
+        // R or R:PHASE — both halves validated like any other flag:
+        // the round through the unsigned-decimal parser, the phase
+        // against the closed name set.
+        const std::string raw = value();
+        const std::size_t colon = raw.find(':');
+        opts.crash_round = parse_count(flag, raw.substr(0, colon));
+        if (colon != std::string::npos) {
+          opts.crash_phase = sim::parse_crash_phase(raw.substr(colon + 1));
+        }
       } else if (flag == "--json-rounds") {
         want_json_rounds = true;
       } else if (flag == "--topk") {
@@ -344,15 +410,51 @@ int main(int argc, char** argv) {
   if (cfg.net.enabled && cfg.net.latency_min_ms > cfg.net.latency_max_ms) {
     usage("--net-latency-min must not exceed --net-latency-max");
   }
-  if (!opts.checkpoint_save_path.empty() && opts.checkpoint_round == 0) {
-    usage("--checkpoint also needs --checkpoint-round");
+  if (shard_fault_flags && cfg.shards <= 1) {
+    usage("--shard-* flags inject faults into the aggregation tree and "
+          "require --shards > 1");
+  }
+  if (!opts.checkpoint_save_path.empty() && opts.checkpoint_round == 0 &&
+      opts.checkpoint_every == 0) {
+    usage("--checkpoint also needs --checkpoint-round or --checkpoint-every");
+  }
+  if (opts.checkpoint_every > 0 && opts.checkpoint_save_path.empty()) {
+    usage("--checkpoint-every needs --checkpoint PATH");
+  }
+  if (opts.checkpoint_keep == 0) {
+    usage("--checkpoint-keep must be at least 1");
+  }
+  if (opts.crash_round != sim::kNoCrash) {
+    if (opts.crash_round >= cfg.rounds) {
+      usage("--crash-at round must be below --rounds — the crash would "
+            "never fire");
+    }
+    if (opts.crash_phase != sim::CrashPhase::post_train &&
+        opts.checkpoint_every == 0) {
+      usage("--crash-at phases mid-buffer and mid-save interrupt the "
+            "checkpoint write and need --checkpoint-every");
+    }
   }
   std::cerr << "running " << sim::experiment_tag(cfg) << " ...\n";
   sim::ExperimentResult result;
   try {
     result = sim::run_experiment(cfg, opts);
+  } catch (const sim::CrashInjected& e) {
+    // The scheduled chaos crash, not a failure: a distinct exit code so
+    // restart harnesses can tell "died as configured" from "usage error"
+    // (2) and "clean finish" (0).
+    std::cerr << e.what() << "\n";
+    return 42;
   } catch (const std::exception& e) {
     usage(std::string("experiment failed: ") + e.what());
+  }
+  if (!result.recovered_from.empty()) {
+    // Recovery provenance for restart harnesses (the chaos-smoke CI job
+    // greps this line): which generation actually restored and how many
+    // damaged ones were skipped on the way.
+    std::cerr << "resumed from " << result.recovered_from << " ("
+              << result.recovery_discarded << " damaged generation(s) "
+              << "discarded)\n";
   }
   if (!opts.checkpoint_save_path.empty()) {
     std::cerr << "checkpoint saved to " << opts.checkpoint_save_path

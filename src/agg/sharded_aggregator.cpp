@@ -1,22 +1,58 @@
 #include "agg/sharded_aggregator.h"
 
 #include <stdexcept>
+#include <vector>
 
 #include "runtime/parallel.h"
 
 namespace collapois::agg {
 
+bool shard_survives(const ShardFaultContext& ctx, std::size_t shard) {
+  if (ctx.faults == nullptr) return true;
+  const std::size_t budget = ctx.faults->config().max_retries;
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (ctx.faults->decide(shard, ctx.round, attempt) ==
+        ShardFaultKind::none) {
+      return true;
+    }
+    if (ctx.stats != nullptr) ++ctx.stats->shard_failures;
+    if (attempt >= budget) break;  // retry budget exhausted — fail over
+    if (ctx.stats != nullptr) {
+      ++ctx.stats->shard_retries;
+      ctx.stats->backoff_virtual_ms += ctx.faults->backoff_ms(attempt + 1);
+    }
+  }
+  if (ctx.stats != nullptr) {
+    ++ctx.stats->shard_failovers;
+    ctx.stats->degraded = true;
+  }
+  return false;
+}
+
 tensor::FlatVec StreamingCombiner::combine(
     fl::Aggregator& inner, const std::vector<fl::ClientUpdate>& updates,
     std::span<const float> global, std::size_t shards,
-    runtime::ThreadPool* pool) {
+    runtime::ThreadPool* pool, const ShardFaultContext& ctx) {
   const auto plan = plan_shards(updates.size(), shards);
   auto stream = inner.stream_begin(updates.front().delta.size());
   // Shards fold IN ORDER into the single stream — that ordering is the
   // whole bit-exactness argument, so it is deliberately sequential; the
   // pool is passed through for the rule's own inner loops.
-  for (const ShardRange& r : plan) {
-    inner.stream_absorb(*stream, updates, r.begin, r.end, global, pool);
+  //
+  // Failover: a dead shard absorbs nothing; its row range stays in
+  // `carry` and the next survivor absorbs the union [carry, its end).
+  // The fold therefore still visits rows 0..n-1 exactly once, in order —
+  // degraded rounds run the same float sequence as healthy ones.
+  std::size_t carry = 0;
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    if (!shard_survives(ctx, s)) continue;
+    inner.stream_absorb(*stream, updates, carry, plan[s].end, global, pool);
+    carry = plan[s].end;
+  }
+  if (carry < updates.size()) {
+    // Every shard from the last survivor onward died: the root itself
+    // absorbs the orphaned tail.
+    inner.stream_absorb(*stream, updates, carry, updates.size(), global, pool);
   }
   return inner.stream_finish(*stream, global);
 }
@@ -24,17 +60,39 @@ tensor::FlatVec StreamingCombiner::combine(
 tensor::FlatVec ColumnConcatCombiner::combine(
     fl::Aggregator& inner, const std::vector<fl::ClientUpdate>& updates,
     std::span<const float> global, std::size_t shards,
-    runtime::ThreadPool* pool) {
+    runtime::ThreadPool* pool, const ShardFaultContext& ctx) {
   const std::size_t dim = updates.front().delta.size();
   tensor::FlatVec out(dim);
   const auto plan = plan_shards(dim, shards);
+
+  // Fault decisions are drawn in a sequential pre-pass so the shared
+  // InfraStats needs no synchronization; the decisions themselves are
+  // counter-based, so the split changes nothing.
+  std::vector<ShardRange> work;
+  std::vector<ShardRange> lost;
+  work.reserve(plan.size());
+  for (std::size_t s = 0; s < plan.size(); ++s) {
+    (shard_survives(ctx, s) ? work : lost).push_back(plan[s]);
+  }
+  // Dead shards' column ranges are re-partitioned across the survivors
+  // (with no survivors, the root recomputes them itself as one block).
+  // Column math never crosses a range boundary, so any re-partition of
+  // the lost columns is bit-identical to the flat result.
+  for (const ShardRange& range : lost) {
+    const std::size_t ways = work.empty() ? 1 : work.size();
+    for (const ShardRange& sub : plan_shards(range.size(), ways)) {
+      if (sub.size() == 0) continue;
+      work.push_back({range.begin + sub.begin, range.begin + sub.end});
+    }
+  }
+
   // Disjoint output ranges -> data-race free; per-column math is column-
   // local -> any shard/thread count yields the flat result exactly. The
   // inner calls run on pool workers, so they get a null pool themselves
   // (runtime::ThreadPool does not nest).
-  runtime::parallel_for(pool, plan.size(), [&](std::size_t s) {
-    inner.aggregate_columns(updates, global, plan[s].begin, plan[s].end,
-                            out.data() + plan[s].begin, nullptr);
+  runtime::parallel_for(pool, work.size(), [&](std::size_t i) {
+    inner.aggregate_columns(updates, global, work[i].begin, work[i].end,
+                            out.data() + work[i].begin, nullptr);
   });
   return out;
 }
@@ -53,8 +111,9 @@ std::unique_ptr<ShardCombiner> make_combiner(fl::ShardCapability capability) {
 }
 
 ShardedAggregator::ShardedAggregator(std::unique_ptr<fl::Aggregator> inner,
-                                     std::size_t shards)
-    : inner_(std::move(inner)), shards_(shards) {
+                                     std::size_t shards,
+                                     std::shared_ptr<ShardFaultModel> faults)
+    : inner_(std::move(inner)), shards_(shards), faults_(std::move(faults)) {
   if (!inner_) {
     throw std::invalid_argument("ShardedAggregator: null inner aggregator");
   }
@@ -72,6 +131,10 @@ ShardedAggregator::ShardedAggregator(std::unique_ptr<fl::Aggregator> inner,
           "run with --shards 1");
     }
     combiner_ = make_combiner(inner_->shard_capability());
+  } else if (faults_ != nullptr) {
+    throw std::invalid_argument(
+        "ShardedAggregator: shard faults need a tree to fault — "
+        "--shard-* flags require --shards > 1");
   }
 }
 
@@ -80,10 +143,13 @@ tensor::FlatVec ShardedAggregator::do_aggregate(
     runtime::ThreadPool* pool) {
   // S == 1 and the empty / single-update cases take the rule's own flat
   // path — same code, same errors, same bytes as an unwrapped aggregator.
+  // A single-update round has no fan-out, so the fault plane is
+  // bypassed too: there is no shard to crash.
   if (shards_ <= 1 || updates.size() <= 1) {
     return inner_->aggregate(updates, global, pool);
   }
-  return combiner_->combine(*inner_, updates, global, shards_, pool);
+  ShardFaultContext ctx{faults_.get(), round_, &stats_};
+  return combiner_->combine(*inner_, updates, global, shards_, pool, ctx);
 }
 
 }  // namespace collapois::agg

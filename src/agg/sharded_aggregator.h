@@ -1,4 +1,5 @@
-// The sharded aggregation tree's root (DESIGN.md §12).
+// The sharded aggregation tree's root (DESIGN.md §12), with the
+// infrastructure fault plane of §13.
 //
 // ShardedAggregator decorates any fl::Aggregator: it partitions each
 // round's cohort across S shards — reusing the wrapped rule's own
@@ -22,16 +23,58 @@
 //                  the cohort; partitioning them would silently change
 //                  the rule, so the tree fails loudly instead.
 //
+// Under a ShardFaultModel (agg/shard_faults.h) each shard's work is
+// attempted up to 1 + max_retries times; a shard that exhausts its
+// budget FAILS OVER instead of failing the round:
+//
+//   streaming  — a dead shard's row range is carried forward and
+//                absorbed by the NEXT surviving shard (the root itself
+//                absorbs an orphaned tail). The fold still visits rows
+//                0..n-1 exactly once, in order, into one stream — the
+//                float operation sequence is unchanged, so a degraded
+//                round is bit-identical to the flat result.
+//   coordinate — fault decisions are drawn in a sequential pre-pass
+//                (keeping the stats race-free); live shards compute
+//                their own tiles and the dead shards' column ranges are
+//                re-partitioned across the survivors (or, with no
+//                survivors, computed by the root). Column math is
+//                column-local, so ANY re-partition is bit-identical.
+//
+// Failed attempts never contribute bytes: a corrupt partial is detected
+// by the root's digest check (modeled as perfect — see shard_faults.h)
+// and discarded whole. Shard faults therefore change WHO computes, never
+// WHAT is computed — which is why the trajectory is invariant under them
+// and the fault config is deliberately NOT part of any checkpoint
+// fingerprint.
+//
 // Shard fan-out uses the existing runtime::ThreadPool via parallel_for;
 // per-shard inner calls get a null pool (the pool does not nest).
 #pragma once
 
 #include <memory>
 
+#include "agg/shard_faults.h"
 #include "agg/shard_plan.h"
 #include "fl/aggregator.h"
 
 namespace collapois::agg {
+
+// Fault-injection context for one aggregation fan-out. `faults` null
+// means the fault plane is off (every shard trivially survives); `stats`
+// collects the round's infrastructure accounting.
+struct ShardFaultContext {
+  const ShardFaultModel* faults = nullptr;
+  std::size_t round = 0;
+  fl::InfraStats* stats = nullptr;
+};
+
+// Runs the retry loop for one shard: draws (shard, round, attempt)
+// decisions until an attempt succeeds or the retry budget is exhausted,
+// recording failures/retries/backoff into ctx.stats. Returns true when
+// the shard survives (some attempt produced a usable partial), false
+// when it failed over. NOT thread-safe against a shared ctx.stats — call
+// it from a sequential decision pass.
+bool shard_survives(const ShardFaultContext& ctx, std::size_t shard);
 
 // Root-side combination strategy over the wrapped rule's shard protocol.
 class ShardCombiner {
@@ -39,12 +82,14 @@ class ShardCombiner {
   virtual ~ShardCombiner() = default;
 
   // Runs the sharded aggregation of `updates` (non-empty) with at most
-  // `shards` shards and returns the combined result.
+  // `shards` shards and returns the combined result. `ctx` injects the
+  // round's shard faults (no-op when ctx.faults is null).
   virtual tensor::FlatVec combine(fl::Aggregator& inner,
                                   const std::vector<fl::ClientUpdate>& updates,
                                   std::span<const float> global,
                                   std::size_t shards,
-                                  runtime::ThreadPool* pool) = 0;
+                                  runtime::ThreadPool* pool,
+                                  const ShardFaultContext& ctx) = 0;
 
   virtual const char* name() const = 0;
 };
@@ -55,7 +100,8 @@ class StreamingCombiner final : public ShardCombiner {
   tensor::FlatVec combine(fl::Aggregator& inner,
                           const std::vector<fl::ClientUpdate>& updates,
                           std::span<const float> global, std::size_t shards,
-                          runtime::ThreadPool* pool) override;
+                          runtime::ThreadPool* pool,
+                          const ShardFaultContext& ctx) override;
   const char* name() const override { return "streaming"; }
 };
 
@@ -66,7 +112,8 @@ class ColumnConcatCombiner final : public ShardCombiner {
   tensor::FlatVec combine(fl::Aggregator& inner,
                           const std::vector<fl::ClientUpdate>& updates,
                           std::span<const float> global, std::size_t shards,
-                          runtime::ThreadPool* pool) override;
+                          runtime::ThreadPool* pool,
+                          const ShardFaultContext& ctx) override;
   const char* name() const override { return "column-concat"; }
 };
 
@@ -76,10 +123,12 @@ std::unique_ptr<ShardCombiner> make_combiner(fl::ShardCapability capability);
 
 class ShardedAggregator final : public fl::Aggregator {
  public:
-  // Throws if inner is null, shards is 0, or shards > 1 while the inner
+  // Throws if inner is null, shards is 0, shards > 1 while the inner
   // rule is cohort_only (the loud-failure path, naming the rule and the
-  // --shards remedy).
-  ShardedAggregator(std::unique_ptr<fl::Aggregator> inner, std::size_t shards);
+  // --shards remedy), or a fault model is supplied with shards <= 1
+  // (there is no tree to fault).
+  ShardedAggregator(std::unique_ptr<fl::Aggregator> inner, std::size_t shards,
+                    std::shared_ptr<ShardFaultModel> faults = nullptr);
 
   // The tree is transparent to everything around it: name, post-update
   // hook and checkpoint bytes are the wrapped rule's, so trajectories
@@ -96,8 +145,18 @@ class ShardedAggregator final : public fl::Aggregator {
     return inner_->shard_capability();
   }
 
+  // The engine's round announcement keys the counter-based fault
+  // decisions; the drained stats land in RoundTelemetry::infra.
+  void begin_round(std::size_t round) override { round_ = round; }
+  fl::InfraStats take_infra_stats() override {
+    fl::InfraStats out = stats_;
+    stats_ = {};
+    return out;
+  }
+
   std::size_t shards() const { return shards_; }
   const fl::Aggregator& inner() const { return *inner_; }
+  const ShardFaultModel* faults() const { return faults_.get(); }
 
  protected:
   tensor::FlatVec do_aggregate(const std::vector<fl::ClientUpdate>& updates,
@@ -108,6 +167,9 @@ class ShardedAggregator final : public fl::Aggregator {
   std::unique_ptr<fl::Aggregator> inner_;
   std::size_t shards_;
   std::unique_ptr<ShardCombiner> combiner_;  // null when shards_ == 1
+  std::shared_ptr<ShardFaultModel> faults_;  // null when the plane is off
+  std::size_t round_ = 0;
+  fl::InfraStats stats_;
 };
 
 }  // namespace collapois::agg

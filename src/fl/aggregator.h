@@ -41,6 +41,29 @@ namespace collapois::fl {
 
 enum class ShardCapability { cohort_only, streaming, coordinate };
 
+// Per-round infrastructure accounting (DESIGN.md §13). Produced by
+// aggregators that model their own failures (the sharded tree under a
+// ShardFaultModel); flat rules report all-zero. Flows RoundTelemetry →
+// RoundRecord → the JSON "infra" block, mirroring how DropReason
+// accounts for the client plane.
+struct InfraStats {
+  // Failed shard attempts this round (every crash/timeout/corrupt draw,
+  // including ones later recovered by retry).
+  std::size_t shard_failures = 0;
+  // Retry attempts issued after a failed attempt.
+  std::size_t shard_retries = 0;
+  // Shards that exhausted their retry budget and had their work
+  // redistributed across survivors.
+  std::size_t shard_failovers = 0;
+  // Accumulated virtual backoff time between retry attempts. Virtual:
+  // accounted, never slept, so fault injection does not perturb wall
+  // timings.
+  double backoff_virtual_ms = 0.0;
+  // True when at least one shard failed over — the round completed in
+  // degraded mode (fewer live shards, identical result).
+  bool degraded = false;
+};
+
 // Opaque per-aggregation accumulator for the streaming path. Each
 // aggregator that declares `streaming` defines its own concrete stream
 // type; decorators wrap their inner aggregator's stream.
@@ -110,6 +133,18 @@ class Aggregator {
     throw std::logic_error("Aggregator: " + name() +
                            " does not support coordinate sharding");
   }
+
+  // --- infrastructure fault plane (DESIGN.md §13) --------------------
+  // The round engine announces the round number before each aggregate()
+  // so fault-modelling aggregators can key their counter-based decisions
+  // on it; plain rules ignore it. Called on the engine thread before the
+  // aggregation fan-out, never concurrently with aggregate().
+  virtual void begin_round(std::size_t /*round*/) {}
+
+  // Drains the infrastructure counters accumulated since the last call
+  // (the engine collects them right after aggregate() into
+  // RoundTelemetry::infra). Default: nothing to report.
+  virtual InfraStats take_infra_stats() { return {}; }
 
   // Hook applied to the global parameters *after* the round's update —
   // model-smoothness defenses (CRFL) clip and perturb the model itself

@@ -310,7 +310,11 @@ RoundTelemetry SyncRoundEngine::run_round(Server& server,
   }
 
   const auto agg_start = wall_now();
+  // Announce the round for counter-based infrastructure fault decisions
+  // (DESIGN.md §13), then drain what the aggregation tree recorded.
+  agg.begin_round(t.round);
   t.aggregated = agg.aggregate(t.updates, params, cfg.pool);
+  t.infra = agg.take_infra_stats();
   t.agg_ms = ms_since(agg_start);
   if (t.aggregated.size() != params.size() || !all_finite(t.aggregated)) {
     // An aggregator that emits garbage from well-formed inputs is treated
@@ -535,7 +539,11 @@ RoundTelemetry BufferedAsyncRoundEngine::run_round(Server& server,
     return t;
   }
   const auto agg_start = wall_now();
+  // Same announcement/drain as the sync engine: infrastructure fault
+  // decisions key on the cycle's round counter.
+  agg.begin_round(t.round);
   t.aggregated = agg.aggregate(t.updates, params, cfg.pool);
+  t.infra = agg.take_infra_stats();
   t.agg_ms = ms_since(agg_start);
   if (t.aggregated.size() != params.size() || !all_finite(t.aggregated)) {
     t.aggregate_skipped = true;

@@ -183,6 +183,12 @@ struct RoundTelemetry {
   // these are observability, not state: never checkpointed.
   std::size_t peak_rss_bytes = 0;
   std::size_t n_materialized = 0;
+
+  // Infrastructure fault accounting (DESIGN.md §13): shard failures,
+  // retries and failovers inside the aggregation tree, drained from the
+  // aggregator right after the round's aggregate() call. All-zero when
+  // no shard faults are configured.
+  InfraStats infra;
 };
 
 class Server {

@@ -1,0 +1,23 @@
+#include "sim/chaos.h"
+
+namespace collapois::sim {
+
+const char* crash_phase_name(CrashPhase phase) {
+  switch (phase) {
+    case CrashPhase::post_train: return "post-train";
+    case CrashPhase::mid_buffer: return "mid-buffer";
+    case CrashPhase::mid_save: return "mid-save";
+  }
+  return "unknown";
+}
+
+CrashPhase parse_crash_phase(const std::string& name) {
+  if (name == "post-train") return CrashPhase::post_train;
+  if (name == "mid-buffer") return CrashPhase::mid_buffer;
+  if (name == "mid-save") return CrashPhase::mid_save;
+  throw std::invalid_argument(
+      "unknown crash phase '" + name +
+      "' (expected post-train, mid-buffer or mid-save)");
+}
+
+}  // namespace collapois::sim

@@ -1,0 +1,61 @@
+// Deterministic crash injection for the chaos harness (DESIGN.md §13).
+//
+// A chaos run declares, up front, the exact round and phase at which the
+// process "dies": the runner throws CrashInjected at that point instead
+// of continuing, the CLI maps it to a distinct exit code, and the test /
+// CI harness restarts the run from its checkpoint chain. Because the
+// crash point is part of the configuration (not a signal race), the
+// recovery property is exactly testable: resumed trajectory ==
+// uninterrupted trajectory, bit for bit.
+//
+// Phases — where inside the round the crash lands:
+//  - post_train: after the round's training + aggregation completed but
+//    BEFORE any checkpoint of it was written; the round is lost and must
+//    be recomputed from the previous checkpoint.
+//  - mid_buffer: immediately AFTER the round's checkpoint was written —
+//    under the buffered-async engine the newest checkpoint now carries
+//    in-flight buffer state, which the resume must restore exactly.
+//  - mid_save: DURING the checkpoint write of the round, through the
+//    non-atomic side door (CheckpointStore::save_torn) — the head file
+//    is left torn and recovery must fall back to the previous
+//    generation.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace collapois::sim {
+
+enum class CrashPhase { post_train, mid_buffer, mid_save };
+
+// Sentinel for "no crash scheduled".
+inline constexpr std::size_t kNoCrash = static_cast<std::size_t>(-1);
+
+const char* crash_phase_name(CrashPhase phase);
+// Parses "post-train" / "mid-buffer" / "mid-save"; throws
+// std::invalid_argument naming the valid phases otherwise.
+CrashPhase parse_crash_phase(const std::string& name);
+
+// The scheduled crash firing. Deliberately NOT derived from the
+// simulator's error taxonomy: callers that translate experiment errors
+// into diagnostics must be able to tell "the experiment failed" from
+// "the chaos schedule fired as configured".
+class CrashInjected : public std::runtime_error {
+ public:
+  CrashInjected(std::size_t round, CrashPhase phase)
+      : std::runtime_error("chaos: injected crash at round " +
+                           std::to_string(round) + " (" +
+                           crash_phase_name(phase) + ")"),
+        round_(round),
+        phase_(phase) {}
+
+  std::size_t round() const { return round_; }
+  CrashPhase phase() const { return phase_; }
+
+ private:
+  std::size_t round_;
+  CrashPhase phase_;
+};
+
+}  // namespace collapois::sim

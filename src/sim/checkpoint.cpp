@@ -1,10 +1,17 @@
 #include "sim/checkpoint.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "fl/state.h"
+#include "net/envelope.h"
 
 namespace collapois::sim {
 
@@ -16,7 +23,12 @@ constexpr std::uint64_t kMagic = 0x434f4c4c41504b54ULL;  // "COLLAPKT"
 //     mutable state rides inside algo_state via Server::save_state).
 // v4: scale_fingerprint (shard topology + population mode; a lazy
 //     population's algo_state stores only the materialized subset).
-constexpr std::uint64_t kVersion = 4;
+// v5: durability header — the body moved behind a (payload_size, FNV-1a
+//     digest) pair verified BEFORE parsing, so truncation and bit flips
+//     fail loudly instead of feeding damaged bytes to the StateReader.
+constexpr std::uint64_t kVersion = 5;
+// Header: magic, version, payload_size, digest — 4 u64 fields.
+constexpr std::size_t kHeaderBytes = 32;
 
 std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
@@ -27,6 +39,11 @@ std::uint64_t mix_double(std::uint64_t h, double v) {
   std::uint64_t bits = 0;
   std::memcpy(&bits, &v, sizeof(bits));
   return mix(h, bits);
+}
+
+[[noreturn]] void fail_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error("save_checkpoint_file: " + what + " for " + path +
+                           ": " + std::strerror(errno));
 }
 
 }  // namespace
@@ -66,7 +83,10 @@ std::uint64_t config_fingerprint(const ExperimentConfig& c) {
   // DESIGN.md §7), so a checkpoint taken at one thread count may resume
   // at another. cfg.net is excluded as well — the transport config has
   // its own fingerprint (net_fingerprint below) so a mismatch there can
-  // produce a transport-specific error.
+  // produce a transport-specific error. cfg.shard_faults is excluded on
+  // purpose: shard faults change WHO computes each partial, never WHAT
+  // is computed (failover is bit-exact, DESIGN.md §13), so a checkpoint
+  // may legally resume under a different shard-fault profile.
   return h;
 }
 
@@ -105,50 +125,66 @@ std::uint64_t scale_fingerprint(const ExperimentConfig& c) {
   return h;
 }
 
-void save_checkpoint_file(const std::string& path, const Checkpoint& ck) {
-  fl::StateWriter w;
-  w.write_u64(kMagic);
-  w.write_u64(kVersion);
-  w.write_u64(ck.fingerprint);
-  w.write_u64(ck.net_fingerprint);
-  w.write_u64(ck.engine_fingerprint);
-  w.write_u64(ck.scale_fingerprint);
-  w.write_size(ck.rounds_completed);
-  for (std::uint64_t s : ck.run_rng.s) w.write_u64(s);
-  w.write_double(ck.run_rng.cached_normal);
-  w.write_bool(ck.run_rng.has_cached_normal);
-  w.write_floats(ck.trojaned_model);
-  w.write_bytes(ck.fault_state);
-  w.write_bytes(ck.net_state);
-  w.write_bytes(ck.algo_state);
+std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& ck) {
+  fl::StateWriter payload;
+  payload.write_u64(ck.fingerprint);
+  payload.write_u64(ck.net_fingerprint);
+  payload.write_u64(ck.engine_fingerprint);
+  payload.write_u64(ck.scale_fingerprint);
+  payload.write_size(ck.rounds_completed);
+  for (std::uint64_t s : ck.run_rng.s) payload.write_u64(s);
+  payload.write_double(ck.run_rng.cached_normal);
+  payload.write_bool(ck.run_rng.has_cached_normal);
+  payload.write_floats(ck.trojaned_model);
+  payload.write_bytes(ck.fault_state);
+  payload.write_bytes(ck.net_state);
+  payload.write_bytes(ck.algo_state);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("save_checkpoint_file: cannot open " + path);
-  }
-  const auto& bytes = w.bytes();
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) {
-    throw std::runtime_error("save_checkpoint_file: write failed for " + path);
-  }
+  fl::StateWriter image;
+  image.write_u64(kMagic);
+  image.write_u64(kVersion);
+  image.write_size(payload.bytes().size());
+  image.write_u64(net::payload_checksum(payload.bytes()));
+  std::vector<std::uint8_t> out = image.take();
+  out.insert(out.end(), payload.bytes().begin(), payload.bytes().end());
+  return out;
 }
 
-Checkpoint load_checkpoint_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("load_checkpoint_file: cannot open " + path);
+Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes,
+                             const std::string& context) {
+  // Header verification first; no payload field is parsed until the
+  // digest proves the payload intact (net::Envelope discipline).
+  if (bytes.size() < kHeaderBytes) {
+    throw std::runtime_error("decode_checkpoint: truncated header in " +
+                             context);
   }
-  std::vector<std::uint8_t> bytes(
-      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  fl::StateReader r(bytes);
-  if (r.read_u64() != kMagic) {
-    throw std::runtime_error("load_checkpoint_file: bad magic in " + path);
+  fl::StateReader header(bytes.subspan(0, kHeaderBytes));
+  if (header.read_u64() != kMagic) {
+    throw std::runtime_error("decode_checkpoint: bad magic in " + context);
   }
-  if (r.read_u64() != kVersion) {
-    throw std::runtime_error("load_checkpoint_file: unsupported version in " +
-                             path);
+  if (header.read_u64() != kVersion) {
+    throw std::runtime_error("decode_checkpoint: unsupported version in " +
+                             context);
   }
+  const std::size_t payload_size = header.read_size();
+  const std::uint64_t digest = header.read_u64();
+  const std::span<const std::uint8_t> payload = bytes.subspan(kHeaderBytes);
+  if (payload.size() < payload_size) {
+    throw std::runtime_error(
+        "decode_checkpoint: truncated payload in " + context + " (have " +
+        std::to_string(payload.size()) + " of " +
+        std::to_string(payload_size) + " bytes)");
+  }
+  if (payload.size() > payload_size) {
+    throw std::runtime_error("decode_checkpoint: trailing bytes in " +
+                             context);
+  }
+  if (net::payload_checksum(payload) != digest) {
+    throw std::runtime_error("decode_checkpoint: payload digest mismatch in " +
+                             context + " (file damaged)");
+  }
+
+  fl::StateReader r(payload);
   Checkpoint ck;
   ck.fingerprint = r.read_u64();
   ck.net_fingerprint = r.read_u64();
@@ -163,10 +199,56 @@ Checkpoint load_checkpoint_file(const std::string& path) {
   ck.net_state = r.read_bytes();
   ck.algo_state = r.read_bytes();
   if (!r.exhausted()) {
-    throw std::runtime_error("load_checkpoint_file: trailing bytes in " +
-                             path);
+    throw std::runtime_error("decode_checkpoint: trailing payload bytes in " +
+                             context);
   }
   return ck;
+}
+
+void save_checkpoint_file(const std::string& path, const Checkpoint& ck) {
+  const std::vector<std::uint8_t> image = encode_checkpoint(ck);
+
+  // Durable atomic write (cstdio for fflush+fsync): a crash at any point
+  // leaves either the old file or the new one, never a torn hybrid.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) fail_errno("cannot open temp file", tmp);
+  if (std::fwrite(image.data(), 1, image.size(), f) != image.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    fail_errno("write failed", tmp);
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    fail_errno("flush failed", tmp);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(::fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    fail_errno("fsync failed", tmp);
+  }
+#endif
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    fail_errno("close failed", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail_errno("rename failed", tmp + " -> " + path);
+  }
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_checkpoint_file: cannot open " + path +
+                             ": " + std::strerror(errno));
+  }
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return decode_checkpoint(bytes, path);
 }
 
 }  // namespace collapois::sim

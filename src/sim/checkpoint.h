@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,24 @@ std::uint64_t engine_fingerprint(const ExperimentConfig& config);
 // the same fingerprint.
 std::uint64_t scale_fingerprint(const ExperimentConfig& config);
 
+// Serializes the checkpoint into the on-disk image: a fixed header
+// (magic, version, payload size, FNV-1a payload digest — the
+// net::Envelope verify-before-parse discipline) followed by the payload
+// (the field sequence of Checkpoint). decode_checkpoint verifies the
+// header BEFORE parsing a single payload field, so truncation and bit
+// flips anywhere in the file fail loudly with `context` (typically the
+// file path) and the reason — never UB, never an attacker-sized
+// allocation. encode/decode are exposed so CheckpointStore and the
+// negative-path tests can work on in-memory images.
+std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& ck);
+Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes,
+                             const std::string& context);
+
+// Atomic durable write: encode into `path + ".tmp"`, flush to disk, then
+// rename over `path` — a crash mid-save leaves the previous checkpoint
+// intact (the chaos harness's mid-save phase exercises exactly this).
+// Throws std::runtime_error naming the path and the errno text on any
+// open/write/flush/rename failure.
 void save_checkpoint_file(const std::string& path, const Checkpoint& ck);
 Checkpoint load_checkpoint_file(const std::string& path);
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "agg/shard_faults.h"
 #include "attacks/dba.h"
 #include "attacks/dpois.h"
 #include "attacks/mrepl.h"
@@ -122,6 +123,11 @@ struct ExperimentConfig {
   // distance rules (Krum, Multi-Krum, FLARE) need the whole cohort and
   // fail loudly for shards > 1. Server-mediated algorithms only.
   std::size_t shards = 1;
+  // Infrastructure fault injection inside the aggregation tree
+  // (agg/shard_faults.h): shard crash / timeout / corrupt-partial faults
+  // with bounded retry and bit-exact failover (DESIGN.md §13). Requires
+  // shards > 1 — there is no tree to fault otherwise.
+  agg::ShardFaultConfig shard_faults;
   // Materialize clients (and their synthetic local data) on first
   // sample instead of at startup, so memory follows the number of
   // distinct participants rather than the registered population. Lazy

@@ -120,6 +120,17 @@ void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
          << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
          << ", \"materialized\": " << r.n_materialized << "}";
     }
+    if (config.shard_faults.any()) {
+      // Per-round infrastructure block (DESIGN.md §13): shard failures,
+      // retries, failovers and the virtual backoff they cost; "degraded"
+      // marks rounds that completed with fewer live shards (bit-exact
+      // failover — the result is unchanged, only WHO computed it).
+      os << ", \"infra\": {\"shard_failures\": " << r.shard_failures
+         << ", \"shard_retries\": " << r.shard_retries
+         << ", \"shard_failovers\": " << r.shard_failovers
+         << ", \"backoff_virtual_ms\": " << r.shard_backoff_ms
+         << ", \"degraded\": " << (r.degraded ? "true" : "false") << "}";
+    }
     if (r.population.has_value()) {
       os << ", \"benign_ac\": " << r.population->benign_ac
          << ", \"attack_sr\": " << r.population->attack_sr;

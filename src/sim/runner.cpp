@@ -12,7 +12,9 @@
 #include "defense/ditto.h"
 #include "fl/faults.h"
 #include "runtime/thread_pool.h"
+#include "sim/chaos.h"
 #include "sim/checkpoint.h"
+#include "sim/checkpoint_store.h"
 #include "data/synthetic_image.h"
 #include "data/synthetic_text.h"
 #include "fl/metafed.h"
@@ -157,6 +159,27 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
         "run_experiment: --lazy-clients requires --eval-max-clients > 0 — "
         "evaluating every client would materialize the whole registered "
         "population and defeat lazy instantiation");
+  }
+  if (cfg.shard_faults.any() && cfg.shards <= 1) {
+    throw std::invalid_argument(
+        "run_experiment: shard faults need an aggregation tree to fault — "
+        "--shard-* flags require --shards > 1");
+  }
+
+  // --- chaos / durability validation -------------------------------------
+  const bool periodic_saves =
+      !options.checkpoint_save_path.empty() && options.checkpoint_every > 0;
+  if (options.crash_round != kNoCrash && options.crash_round >= cfg.rounds) {
+    throw std::invalid_argument(
+        "run_experiment: crash_round is past the round budget — the crash "
+        "would never fire");
+  }
+  if (options.crash_round != kNoCrash &&
+      options.crash_phase != CrashPhase::post_train && !periodic_saves) {
+    throw std::invalid_argument(
+        "run_experiment: crash phases mid-buffer and mid-save interrupt the "
+        "checkpoint write and need periodic checkpointing "
+        "(checkpoint_save_path + checkpoint_every) to be configured");
   }
 
   // Select the compute-kernel set before any client math runs (and before
@@ -409,9 +432,17 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
                                             rng.fork());
     if (cfg.shards > 1) {
       // The aggregation tree root (agg/sharded_aggregator.h). Throws here
-      // — before any round runs — when the defense is cohort_only.
+      // — before any round runs — when the defense is cohort_only. The
+      // shard fault model (if any) rides inside the tree: failover keeps
+      // degraded rounds bit-identical, so nothing above this line knows
+      // faults exist except the telemetry.
+      std::shared_ptr<agg::ShardFaultModel> shard_fault_model;
+      if (cfg.shard_faults.any()) {
+        shard_fault_model =
+            std::make_shared<agg::ShardFaultModel>(cfg.shard_faults);
+      }
       aggregator = std::make_unique<agg::ShardedAggregator>(
-          std::move(aggregator), cfg.shards);
+          std::move(aggregator), cfg.shards, std::move(shard_fault_model));
     }
     fl::ServerConfig scfg;
     scfg.learning_rate = cfg.server_lr;
@@ -478,7 +509,18 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   // --- resume ------------------------------------------------------------
   std::size_t start_round = 0;
   if (!options.checkpoint_load_path.empty()) {
-    const Checkpoint ck = load_checkpoint_file(options.checkpoint_load_path);
+    // Resume reads through the rolling chain (sim/checkpoint_store.h):
+    // an intact head behaves exactly like the old single-file load; a
+    // damaged head falls back to the newest intact generation and the
+    // recovery is recorded in the result. keep_last bounds how far back
+    // the walk goes.
+    const CheckpointStore load_store(options.checkpoint_load_path,
+                                     std::max<std::size_t>(
+                                         options.checkpoint_keep, 1));
+    CheckpointStore::Recovery recovery = load_store.load_newest();
+    const Checkpoint ck = std::move(recovery.checkpoint);
+    result.recovered_from = recovery.path;
+    result.recovery_discarded = recovery.discarded;
     if (ck.fingerprint != config_fingerprint(cfg)) {
       throw std::invalid_argument(
           "run_experiment: checkpoint was saved under a different "
@@ -550,6 +592,42 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
         "run_experiment: checkpoint_round must be past the resume point");
   }
 
+  // The durable rolling chain for periodic saves (and for the one-shot
+  // halt save below, so both paths share rotation and atomicity).
+  std::unique_ptr<CheckpointStore> store;
+  if (!options.checkpoint_save_path.empty()) {
+    store = std::make_unique<CheckpointStore>(
+        options.checkpoint_save_path,
+        std::max<std::size_t>(options.checkpoint_keep, 1));
+  }
+  // Every piece of mutable round-loop state, frozen as of
+  // `rounds_completed`. Shared by the periodic saves, the chaos
+  // mid-save tear, and the one-shot halt save.
+  auto make_checkpoint = [&](std::size_t rounds_completed) {
+    Checkpoint ck;
+    ck.fingerprint = config_fingerprint(cfg);
+    ck.net_fingerprint = net_fingerprint(cfg.net);
+    ck.engine_fingerprint = engine_fingerprint(cfg);
+    ck.scale_fingerprint = scale_fingerprint(cfg);
+    ck.rounds_completed = rounds_completed;
+    ck.run_rng = rng.state();
+    ck.trojaned_model = result.trojaned_model;
+    if (fault_model) {
+      fl::StateWriter w;
+      fault_model->save_state(w);
+      ck.fault_state = w.take();
+    }
+    if (net_model) {
+      fl::StateWriter w;
+      net_model->save_state(w);
+      ck.net_state = w.take();
+    }
+    fl::StateWriter w;
+    algo->save_state(w);
+    ck.algo_state = w.take();
+    return ck;
+  };
+
   for (std::size_t t = start_round; t < stop_round; ++t) {
     if (t >= cfg.attack_start_round) arm_attackers();
     fl::RoundTelemetry telemetry = algo->run_round();
@@ -576,6 +654,11 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     rec.clients_per_sec = telemetry.clients_per_sec;
     rec.peak_rss_bytes = telemetry.peak_rss_bytes;
     rec.n_materialized = telemetry.n_materialized;
+    rec.shard_failures = telemetry.infra.shard_failures;
+    rec.shard_retries = telemetry.infra.shard_retries;
+    rec.shard_failovers = telemetry.infra.shard_failovers;
+    rec.shard_backoff_ms = telemetry.infra.backoff_virtual_ms;
+    rec.degraded = telemetry.infra.degraded;
     if (!result.trojaned_model.empty() &&
         cfg.algorithm != AlgorithmKind::metafed) {
       rec.distance_to_x = stats::l2_distance(algo->global_params(),
@@ -589,6 +672,27 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     if (options.keep_telemetry) {
       result.telemetry.push_back(std::move(telemetry));
     }
+
+    // --- chaos + periodic durability (DESIGN.md §13) --------------------
+    // Ordering is the contract: post_train fires BEFORE the round's
+    // checkpoint exists (the round is lost), mid_save tears the write
+    // itself, mid_buffer fires right AFTER the save (the newest
+    // checkpoint carries the engine's in-flight buffer state).
+    const bool crash_here = t == options.crash_round;
+    if (crash_here && options.crash_phase == CrashPhase::post_train) {
+      throw CrashInjected(t, CrashPhase::post_train);
+    }
+    const bool periodic_due =
+        periodic_saves && (t + 1) % options.checkpoint_every == 0;
+    if (periodic_due || crash_here) {
+      const Checkpoint ck = make_checkpoint(t + 1);
+      if (crash_here && options.crash_phase == CrashPhase::mid_save) {
+        store->save_torn(ck, 0.5);
+        throw CrashInjected(t, CrashPhase::mid_save);
+      }
+      store->save(ck);
+      if (crash_here) throw CrashInjected(t, CrashPhase::mid_buffer);
+    }
   }
 
   // --- checkpoint ---------------------------------------------------------
@@ -596,28 +700,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
   // models off client RNG streams, and those draws belong to the resumed
   // run, not the frozen state.
   if (save_requested) {
-    Checkpoint ck;
-    ck.fingerprint = config_fingerprint(cfg);
-    ck.net_fingerprint = net_fingerprint(cfg.net);
-    ck.engine_fingerprint = engine_fingerprint(cfg);
-    ck.scale_fingerprint = scale_fingerprint(cfg);
-    ck.rounds_completed = stop_round;
-    ck.run_rng = rng.state();
-    ck.trojaned_model = result.trojaned_model;
-    if (fault_model) {
-      fl::StateWriter w;
-      fault_model->save_state(w);
-      ck.fault_state = w.take();
-    }
-    if (net_model) {
-      fl::StateWriter w;
-      net_model->save_state(w);
-      ck.net_state = w.take();
-    }
-    fl::StateWriter w;
-    algo->save_state(w);
-    ck.algo_state = w.take();
-    save_checkpoint_file(options.checkpoint_save_path, ck);
+    store->save(make_checkpoint(stop_round));
   }
 
   // --- final client-level evaluation ---------------------------------------

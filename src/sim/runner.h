@@ -11,6 +11,7 @@
 #include "metrics/client_metrics.h"
 #include "metrics/clusters.h"
 #include "metrics/telemetry.h"
+#include "sim/chaos.h"
 #include "sim/config.h"
 
 namespace collapois::sim {
@@ -62,6 +63,17 @@ struct RoundRecord {
   // populations). Observability only, like the timing fields.
   std::size_t peak_rss_bytes = 0;
   std::size_t n_materialized = 0;
+
+  // Infrastructure fault accounting (fl::InfraStats, DESIGN.md §13):
+  // shard failures/retries/failovers inside the aggregation tree, the
+  // virtual backoff they cost, and whether the round completed degraded
+  // (failover redistributed a dead shard's work). All zero when no
+  // shard faults are configured.
+  std::size_t shard_failures = 0;
+  std::size_t shard_retries = 0;
+  std::size_t shard_failovers = 0;
+  double shard_backoff_ms = 0.0;
+  bool degraded = false;
 };
 
 struct ExperimentResult {
@@ -86,6 +98,13 @@ struct ExperimentResult {
 
   // Label histogram of the attacker's auxiliary data D_a.
   std::vector<double> auxiliary_histogram;
+
+  // Recovery provenance (empty / zero unless the run resumed from a
+  // checkpoint chain): the slot the run actually restored, and how many
+  // newer generations existed but failed verification and were skipped
+  // (a torn head after a crash mid-save counts here).
+  std::string recovered_from;
+  std::size_t recovery_discarded = 0;
 };
 
 struct RunOptions {
@@ -103,6 +122,25 @@ struct RunOptions {
   std::string checkpoint_save_path;
   std::size_t checkpoint_round = 0;
   std::string checkpoint_load_path;
+
+  // Durable periodic checkpointing (sim/checkpoint_store.h). When
+  // checkpoint_save_path is set and checkpoint_every > 0, the run writes
+  // a checkpoint through a rolling keep-last-`checkpoint_keep` chain
+  // after every `checkpoint_every`-th round (and keeps running to
+  // config.rounds unless checkpoint_round also halts it). Resume reads
+  // through the same chain: a damaged head falls back to the newest
+  // intact generation, recorded in ExperimentResult::recovered_from /
+  // recovery_discarded.
+  std::size_t checkpoint_every = 0;
+  std::size_t checkpoint_keep = 3;
+
+  // Chaos harness (sim/chaos.h): throw CrashInjected at the end of round
+  // `crash_round` (0-based; kNoCrash disables). post_train fires before
+  // any checkpoint of the round, mid_buffer right after it, mid_save
+  // tears the head checkpoint mid-write; the latter two therefore
+  // require periodic checkpointing to be on.
+  std::size_t crash_round = kNoCrash;
+  CrashPhase crash_phase = CrashPhase::post_train;
 };
 
 ExperimentResult run_experiment(const ExperimentConfig& config,
