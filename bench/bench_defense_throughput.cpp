@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iomanip>
@@ -32,6 +33,7 @@
 #include "defense/median.h"
 #include "defense/rlr.h"
 #include "fl/aggregator.h"
+#include "kernels/cpu_dispatch.h"
 #include "nn/zoo.h"
 #include "stats/rng.h"
 
@@ -236,8 +238,20 @@ void finalize() {
   std::ofstream out("BENCH_defense_throughput.json");
   out << "{\"bench\": \"defense_throughput\",\n"
       << " \"workload\": \"one Aggregator::aggregate call, random updates\",\n"
+      << " \"cpu_features\": \"" << kernels::cpu_feature_string() << "\",\n"
+      << " \"isa_tier\": \""
+      << kernels::isa_tier_name(kernels::active_tier()) << "\",\n"
+      << " \"forced_tier\": "
+      << (std::getenv("COLLAPOIS_FORCE_ISA") != nullptr
+              ? std::string("\"") +
+                    kernels::isa_tier_name(kernels::active_tier()) + "\""
+              : std::string("null"))
+      << ",\n"
       << " \"fast_never_slower\": " << (fast_never_slower ? "true" : "false")
       << ",\n \"points\": [" << json << "\n]}\n";
+  // std::exit skips local destructors; close explicitly or a failing gate
+  // truncates the very artifact needed to diagnose it.
+  out.close();
   if (!fast_never_slower) std::exit(1);
 }
 

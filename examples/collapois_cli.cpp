@@ -44,8 +44,16 @@ experiment:
                      (blocked = im2col + packed GEMM; naive =
                      reference loops — the two round differently)
   --defense-impl N   defense kernels: fast | naive                 [fast]
-                     (fast = GEMM pairwise distances + tiled
-                     coordinate rules; naive = reference loops)
+                     (fast = GEMM pairwise distances + SIMD
+                     coordinate tiles; naive = reference loops)
+
+  The blocked/fast hot paths pick a SIMD microkernel at runtime from
+  cpuid (scalar | sse2 | avx2); the selected tier and detected CPU
+  features appear in the run report's "kernels" block. Set
+  COLLAPOIS_FORCE_ISA=scalar|sse2|avx2 to force a LOWER tier (forcing
+  an unsupported tier fails at startup). Coordinate defense rules are
+  bit-identical across tiers; GEMM results differ at rounding level
+  between avx2 (FMA) and the other tiers.
 
 fault injection and hardening (DESIGN.md paragraph 6):
   --dropout F        per-round client dropout probability [0, 1]   [0]

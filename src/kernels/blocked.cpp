@@ -1,315 +1,173 @@
-// The blocked kernel set: cache-blocked, panel-packed SGEMM with a
-// register-tiled microkernel, plus Conv2d lowered onto it via
+// The blocked kernel set: cache-blocked, panel-packed SGEMM behind the
+// runtime ISA dispatch (cpu_dispatch.h), plus Conv2d lowered onto it via
 // im2col/col2im.
 //
-// Blocking scheme (BLIS-style, sized for the zoo's LeNet/MLP shapes and
-// baseline-x86 register budgets):
-//   - jc loop: NC-wide column blocks of C;
-//   - pc loop: KC-deep slices of the reduction dimension; the B slice is
-//     packed into NR-column panels;
-//   - ic loop: MC-tall row blocks; the A slice is packed into MR-row
-//     panels (epilogue sums are folded into this pass);
-//   - jr/ir loops: an MR x NR register tile per microkernel call.
-// The microkernel keeps MR*NR float accumulators live and walks the
-// packed panels contiguously; the inner two loops have constant trip
-// counts so -O3 auto-vectorizes them without intrinsics.
+// The blocking structure lives in gemm_driver.h, templated on the
+// microkernel policy; this TU instantiates the portable tiers:
+//   - scalar 4x8: the original C++ register tile, auto-vectorized at -O3.
+//     Always available; the reference the SIMD tiers are tested against.
+//   - sse2 4x8: explicit 128-bit intrinsics, mul-then-add per lane in the
+//     same order as the scalar tile — bit-identical results, but the
+//     hand-scheduled loads/broadcasts beat what -O3 extracts from the
+//     scalar loop on some compilers.
+// The avx2 8x8 FMA tier lives in simd_avx2.cpp (built with -mavx2 -mfma,
+// selected only when cpuid reports the CPU can run it).
 //
-// Determinism: the loop nest and panel layout are pure functions of
-// (m, k, n), every accumulation happens in a fixed order, and nothing
-// reads thread identity or workspace history — so results are
-// bit-identical run-to-run and across thread counts. The reduction order
+// Shape-special-case routing decides the ALGORITHM (packed microkernel
+// vs streaming loops) before the ISA tier decides the instructions: tiny
+// problems always run the shared naive loops (bit-identical across
+// tiers), while the shallow/wide and long-dot streaming paths dispatch
+// per tier like the microkernel does — the conv GEMMs live almost
+// entirely on those paths, so they must vectorize too.
+//
+// Determinism: per tier, results are bit-identical run-to-run and across
+// thread counts (the im2col/col2im batch fan-out writes disjoint ranges).
+// Across tiers, scalar == sse2 bitwise; avx2 GEMM differs only by the FMA
+// rounding and stays inside the cross-set tolerance. The reduction order
 // differs from the naive set's (float tiles vs double dot products),
-// which is why the two sets agree only to elementwise tolerance and the
-// kernel choice is checkpoint-fingerprinted.
+// which is why the two SETS agree only to elementwise tolerance and the
+// kernel KIND — never the dispatch tier — is checkpoint-fingerprinted.
 #include <algorithm>
 #include <cstring>
 
+#include "kernels/conv_lower.h"
+#include "kernels/cpu_dispatch.h"
+#include "kernels/gemm_driver.h"
 #include "kernels/ops_internal.h"
 #include "kernels/workspace.h"
+#include "runtime/parallel.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace collapois::kernels::detail {
 
 namespace {
 
-constexpr std::size_t MR = 4;    // microkernel rows
-constexpr std::size_t NR = 8;    // microkernel cols
-constexpr std::size_t KC = 256;  // reduction block
-constexpr std::size_t MC = 64;   // row block
-constexpr std::size_t NC = 512;  // column block
-
-inline std::size_t round_up(std::size_t v, std::size_t to) {
-  return (v + to - 1) / to * to;
-}
+// --- microkernel policies ----------------------------------------------
 
 // C_tile accumulators for one MR x NR tile over a packed KC slice.
 // ap: MR-row panel (ap[p * MR + i]), bp: NR-column panel (bp[p * NR + j]).
-void micro_kernel(std::size_t kc, const float* ap, const float* bp,
-                  float* acc) {
-  for (std::size_t x = 0; x < MR * NR; ++x) acc[x] = 0.0f;
-  for (std::size_t p = 0; p < kc; ++p) {
-    const float* b = bp + p * NR;
-    const float* a = ap + p * MR;
+struct ScalarMicro4x8 {
+  static constexpr std::size_t MR = 4;
+  static constexpr std::size_t NR = 8;
+  static void micro(std::size_t kc, const float* ap, const float* bp,
+                    float* acc) {
+    for (std::size_t x = 0; x < MR * NR; ++x) acc[x] = 0.0f;
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* b = bp + p * NR;
+      const float* a = ap + p * MR;
+      for (std::size_t i = 0; i < MR; ++i) {
+        const float av = a[i];
+        float* row = acc + i * NR;
+        for (std::size_t j = 0; j < NR; ++j) row[j] += av * b[j];
+      }
+    }
+  }
+};
+
+#if defined(__SSE2__)
+// Same tile, same per-lane mul-then-add order, 128-bit registers: two
+// xmm accumulators per row (cols 0..3 and 4..7), broadcast of a[i] via
+// set1. Bit-identical to ScalarMicro4x8 — mulps/addps round exactly like
+// the scalar multiply and add.
+struct Sse2Micro4x8 {
+  static constexpr std::size_t MR = 4;
+  static constexpr std::size_t NR = 8;
+  static void micro(std::size_t kc, const float* ap, const float* bp,
+                    float* acc) {
+    __m128 c[MR][2];
     for (std::size_t i = 0; i < MR; ++i) {
-      const float av = a[i];
-      float* row = acc + i * NR;
-      for (std::size_t j = 0; j < NR; ++j) row[j] += av * b[j];
+      c[i][0] = _mm_setzero_ps();
+      c[i][1] = _mm_setzero_ps();
     }
-  }
-}
-
-// Write one microtile into C. `overwrite` = first reduction block of a
-// C-overwriting GEMM; row_bias/col_bias are fused bias epilogues (already
-// offset to this tile), valid region is mr x nr.
-void store_tile(float* c, std::size_t ldc, const float* acc, std::size_t mr,
-                std::size_t nr, bool overwrite, const float* row_bias,
-                const float* col_bias) {
-  for (std::size_t i = 0; i < mr; ++i) {
-    float* crow = c + i * ldc;
-    const float* arow = acc + i * NR;
-    if (overwrite) {
-      const float bias = row_bias != nullptr ? row_bias[i] : 0.0f;
-      for (std::size_t j = 0; j < nr; ++j) crow[j] = arow[j] + bias;
-    } else if (col_bias != nullptr) {
-      for (std::size_t j = 0; j < nr; ++j) {
-        crow[j] += arow[j] + col_bias[j];
-      }
-    } else {
-      for (std::size_t j = 0; j < nr; ++j) crow[j] += arow[j];
-    }
-  }
-}
-
-// Pack an mc x kc block of A (row-major, leading dimension lda) into
-// MR-row panels, zero-padding the ragged last panel. When row_sums is
-// given (fused bias-gradient epilogue), each A element is added to its
-// row's sum — callers only pass it on the first jc block so every element
-// is counted exactly once.
-void pack_a(const float* a, std::size_t lda, std::size_t mc, std::size_t kc,
-            float* ap, float* row_sums) {
-  for (std::size_t ir = 0; ir < mc; ir += MR) {
-    const std::size_t mr = std::min(MR, mc - ir);
-    float* panel = ap + ir * kc;
     for (std::size_t p = 0; p < kc; ++p) {
-      for (std::size_t i = 0; i < mr; ++i) {
-        panel[p * MR + i] = a[(ir + i) * lda + p];
+      const __m128 b0 = _mm_loadu_ps(bp + p * NR);
+      const __m128 b1 = _mm_loadu_ps(bp + p * NR + 4);
+      const float* a = ap + p * MR;
+      for (std::size_t i = 0; i < MR; ++i) {
+        const __m128 av = _mm_set1_ps(a[i]);
+        c[i][0] = _mm_add_ps(c[i][0], _mm_mul_ps(av, b0));
+        c[i][1] = _mm_add_ps(c[i][1], _mm_mul_ps(av, b1));
       }
-      for (std::size_t i = mr; i < MR; ++i) panel[p * MR + i] = 0.0f;
     }
-    if (row_sums != nullptr) {
-      for (std::size_t i = 0; i < mr; ++i) {
-        float s = 0.0f;
-        const float* arow = a + (ir + i) * lda;
-        for (std::size_t p = 0; p < kc; ++p) s += arow[p];
-        row_sums[ir + i] += s;
-      }
+    for (std::size_t i = 0; i < MR; ++i) {
+      _mm_storeu_ps(acc + i * NR, c[i][0]);
+      _mm_storeu_ps(acc + i * NR + 4, c[i][1]);
     }
   }
+};
+#endif
+
+// --- streaming paths (scalar/sse2 tiers) --------------------------------
+//
+// These are forward declarations; definitions follow the routing cutoffs
+// below. scalar and sse2 share them (the compiler's SSE2 auto-
+// vectorization of these plain streams is already as good as hand-held
+// 128-bit intrinsics), which keeps the two tiers bit-identical. The avx2
+// tier overrides them with FMA versions in simd_avx2.cpp.
+void dot_abt_accum(const float* a, const float* b, float* c, std::size_t m,
+                   std::size_t k, std::size_t n, const float* col_bias,
+                   float* a_row_sums);
+void axpy_atb_accum(const float* a, const float* b, float* c, std::size_t k,
+                    std::size_t m, std::size_t n, float* a_col_sums,
+                    bool overwrite);
+
+// Baseline-ISA instantiations of the shared conv lowering.
+void base_im2col(const Conv2dShape& s, const float* image, float* col,
+                 std::size_t ldcol) {
+  lower::im2col(s, image, col, ldcol);
+}
+void base_col2im_add(const Conv2dShape& s, const float* col, std::size_t ldcol,
+                     float* grad_image) {
+  lower::col2im_add(s, col, ldcol, grad_image);
 }
 
-// Pack a kc x mc block of a TRANSPOSED-layout A (stored [k x m], leading
-// dimension lda = m) into MR-row panels of A^T. col_sums, when given,
-// receives sum_p A[p, i] for the fused dense bias-gradient epilogue.
-void pack_a_trans(const float* a, std::size_t lda, std::size_t mc,
-                  std::size_t kc, float* ap, float* col_sums) {
-  for (std::size_t ir = 0; ir < mc; ir += MR) {
-    const std::size_t mr = std::min(MR, mc - ir);
-    float* panel = ap + ir * kc;
-    for (std::size_t p = 0; p < kc; ++p) {
-      const float* arow = a + p * lda + ir;
-      for (std::size_t i = 0; i < mr; ++i) panel[p * MR + i] = arow[i];
-      for (std::size_t i = mr; i < MR; ++i) panel[p * MR + i] = 0.0f;
-    }
-    if (col_sums != nullptr) {
-      for (std::size_t i = 0; i < mr; ++i) {
-        float s = 0.0f;
-        for (std::size_t p = 0; p < kc; ++p) s += a[p * lda + ir + i];
-        col_sums[ir + i] += s;
-      }
-    }
+// --- tier dispatch ------------------------------------------------------
+
+constexpr TierOps kScalarTier{TierGemm<ScalarMicro4x8>::gemm,
+                              TierGemm<ScalarMicro4x8>::gemm_a_bt_accum,
+                              TierGemm<ScalarMicro4x8>::gemm_at_b_accum,
+                              naive_gemm,
+                              dot_abt_accum,
+                              axpy_atb_accum,
+                              base_im2col,
+                              base_col2im_add};
+
+#if defined(__SSE2__)
+constexpr TierOps kSse2Tier{TierGemm<Sse2Micro4x8>::gemm,
+                            TierGemm<Sse2Micro4x8>::gemm_a_bt_accum,
+                            TierGemm<Sse2Micro4x8>::gemm_at_b_accum,
+                            naive_gemm,
+                            dot_abt_accum,
+                            axpy_atb_accum,
+                            base_im2col,
+                            base_col2im_add};
+#endif
+
+const TierOps& tier_ops() {
+  switch (active_tier()) {
+#if defined(__SSE2__)
+    case IsaTier::sse2:
+      return kSse2Tier;
+#endif
+    case IsaTier::avx2:
+      if (avx2_tier_compiled()) return avx2_tier_ops();
+      break;  // built without the AVX2 TU: cpu_dispatch caps the tier,
+              // but fall back rather than crash if it didn't
+    default:
+      break;
   }
-}
-
-// Pack a kc x nc block of B (row-major [k x n]) into NR-column panels.
-void pack_b(const float* b, std::size_t ldb, std::size_t kc, std::size_t nc,
-            float* bp) {
-  for (std::size_t jr = 0; jr < nc; jr += NR) {
-    const std::size_t nr = std::min(NR, nc - jr);
-    float* panel = bp + jr * kc;
-    for (std::size_t p = 0; p < kc; ++p) {
-      const float* brow = b + p * ldb + jr;
-      for (std::size_t j = 0; j < nr; ++j) panel[p * NR + j] = brow[j];
-      for (std::size_t j = nr; j < NR; ++j) panel[p * NR + j] = 0.0f;
-    }
-  }
-}
-
-// Pack a kc x nc block of a TRANSPOSED-layout B (stored [n x k], leading
-// dimension ldb = k) into NR-column panels of B^T.
-void pack_b_trans(const float* b, std::size_t ldb, std::size_t kc,
-                  std::size_t nc, float* bp) {
-  for (std::size_t jr = 0; jr < nc; jr += NR) {
-    const std::size_t nr = std::min(NR, nc - jr);
-    float* panel = bp + jr * kc;
-    for (std::size_t j = 0; j < nr; ++j) {
-      const float* bcol = b + (jr + j) * ldb;
-      for (std::size_t p = 0; p < kc; ++p) panel[p * NR + j] = bcol[p];
-    }
-    for (std::size_t j = nr; j < NR; ++j) {
-      for (std::size_t p = 0; p < kc; ++p) panel[p * NR + j] = 0.0f;
-    }
-  }
-}
-
-enum class PackA { plain, trans };
-enum class PackB { plain, trans };
-
-// Shared 5-loop driver. `overwrite` gives C = A*B semantics (first
-// reduction block overwrites, carrying row_bias); otherwise C += A*B with
-// col_bias fused into the final reduction block's store. sums (row sums
-// for plain A, column sums for transposed A) accumulate during the first
-// jc block's packing pass.
-void gemm_driver(const float* a, std::size_t lda, PackA a_mode,
-                 const float* b, std::size_t ldb, PackB b_mode, float* c,
-                 std::size_t m, std::size_t k, std::size_t n, bool overwrite,
-                 const float* row_bias, const float* col_bias, float* sums) {
-  if (m == 0 || n == 0) return;
-  if (k == 0) {
-    if (overwrite) {
-      for (std::size_t i = 0; i < m; ++i) {
-        const float bias = row_bias != nullptr ? row_bias[i] : 0.0f;
-        for (std::size_t j = 0; j < n; ++j) c[i * n + j] = bias;
-      }
-    } else if (col_bias != nullptr) {
-      for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t j = 0; j < n; ++j) c[i * n + j] += col_bias[j];
-      }
-    }
-    return;
-  }
-
-  Workspace& ws = Workspace::tls();
-  const std::size_t kc_max = std::min(KC, k);
-  float* ap =
-      ws.floats(Workspace::kPackedA, round_up(std::min(MC, m), MR) * kc_max)
-          .data();
-  float* bp =
-      ws.floats(Workspace::kPackedB, round_up(std::min(NC, n), NR) * kc_max)
-          .data();
-
-  for (std::size_t jc = 0; jc < n; jc += NC) {
-    const std::size_t nc = std::min(NC, n - jc);
-    for (std::size_t pc = 0; pc < k; pc += KC) {
-      const std::size_t kc = std::min(KC, k - pc);
-      const bool first_k = pc == 0;
-      const bool last_k = pc + kc == k;
-      if (b_mode == PackB::plain) {
-        pack_b(b + pc * ldb + jc, ldb, kc, nc, bp);
-      } else {
-        pack_b_trans(b + jc * ldb + pc, ldb, kc, nc, bp);
-      }
-      for (std::size_t ic = 0; ic < m; ic += MC) {
-        const std::size_t mc = std::min(MC, m - ic);
-        // Epilogue sums accumulate exactly once per A element: only the
-        // first jc block's packing pass carries the sums pointer.
-        float* pack_sums = (jc == 0 && sums != nullptr) ? sums + ic : nullptr;
-        if (a_mode == PackA::plain) {
-          pack_a(a + ic * lda + pc, lda, mc, kc, ap, pack_sums);
-        } else {
-          pack_a_trans(a + pc * lda + ic, lda, mc, kc, ap, pack_sums);
-        }
-        for (std::size_t jr = 0; jr < nc; jr += NR) {
-          const std::size_t nr = std::min(NR, nc - jr);
-          for (std::size_t ir = 0; ir < mc; ir += MR) {
-            const std::size_t mr = std::min(MR, mc - ir);
-            float acc[MR * NR];
-            micro_kernel(kc, ap + ir * kc, bp + jr * kc, acc);
-            store_tile(c + (ic + ir) * n + jc + jr, n, acc, mr, nr,
-                       overwrite && first_k,
-                       row_bias != nullptr ? row_bias + ic + ir : nullptr,
-                       (last_k && col_bias != nullptr) ? col_bias + jc + jr
-                                                       : nullptr);
-          }
-        }
-      }
-    }
-  }
-}
-
-// --- im2col / col2im ----------------------------------------------------
-
-// col[(ic*k + ky)*k + kx][oy*ow + ox] = image[ic][oy+ky-pad][ox+kx-pad]
-// (zero outside the image). One row of `col` per filter tap; the valid
-// ox span is copied contiguously, the padded edges are zero-filled.
-// `ldcol` is the column matrix's leading dimension, so a whole batch can
-// be lowered side by side (image b's columns at offset b*oh*ow).
-void im2col(const Conv2dShape& s, const float* image, float* col,
-            std::size_t ldcol) {
-  float* dst = col;
-  for (std::size_t ic = 0; ic < s.cin; ++ic) {
-    const float* plane = image + ic * s.h * s.w;
-    for (std::size_t ky = 0; ky < s.k; ++ky) {
-      for (std::size_t kx = 0; kx < s.k; ++kx, dst += ldcol) {
-        const std::size_t ox_lo = kx < s.pad ? s.pad - kx : 0;
-        const std::size_t ox_hi =
-            std::min(s.ow, s.w + s.pad > kx ? s.w + s.pad - kx : 0);
-        for (std::size_t oy = 0; oy < s.oh; ++oy) {
-          float* row = dst + oy * s.ow;
-          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
-                                    static_cast<std::ptrdiff_t>(s.pad);
-          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(s.h) ||
-              ox_lo >= ox_hi) {
-            std::memset(row, 0, s.ow * sizeof(float));
-            continue;
-          }
-          if (ox_lo > 0) std::memset(row, 0, ox_lo * sizeof(float));
-          std::memcpy(row + ox_lo,
-                      plane + static_cast<std::size_t>(iy) * s.w + ox_lo + kx -
-                          s.pad,
-                      (ox_hi - ox_lo) * sizeof(float));
-          if (ox_hi < s.ow) {
-            std::memset(row + ox_hi, 0, (s.ow - ox_hi) * sizeof(float));
-          }
-        }
-      }
-    }
-  }
-}
-
-// Scatter-add of a column-matrix gradient back onto the image gradient:
-// the exact adjoint of im2col (same ldcol convention).
-void col2im_add(const Conv2dShape& s, const float* col, std::size_t ldcol,
-                float* grad_image) {
-  const float* src = col;
-  for (std::size_t ic = 0; ic < s.cin; ++ic) {
-    float* plane = grad_image + ic * s.h * s.w;
-    for (std::size_t ky = 0; ky < s.k; ++ky) {
-      for (std::size_t kx = 0; kx < s.k; ++kx, src += ldcol) {
-        const std::size_t ox_lo = kx < s.pad ? s.pad - kx : 0;
-        const std::size_t ox_hi =
-            std::min(s.ow, s.w + s.pad > kx ? s.w + s.pad - kx : 0);
-        if (ox_lo >= ox_hi) continue;
-        for (std::size_t oy = 0; oy < s.oh; ++oy) {
-          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy + ky) -
-                                    static_cast<std::ptrdiff_t>(s.pad);
-          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(s.h)) continue;
-          const float* row = src + oy * s.ow;
-          float* irow =
-              plane + static_cast<std::size_t>(iy) * s.w + ox_lo + kx - s.pad;
-          for (std::size_t ox = ox_lo; ox < ox_hi; ++ox) {
-            irow[ox - ox_lo] += row[ox];
-          }
-        }
-      }
-    }
-  }
+  return kScalarTier;
 }
 
 // Below this many multiply-adds, panel packing costs more than it saves
 // (a [16 x 32] x [32 x 2] head GEMM wastes 3/4 of every NR-wide tile on
 // zero padding) and the reference loops win. The cutoff is a pure
-// function of (m, k, n), so dispatch stays deterministic; the routed
-// calls are bit-identical to the naive set on those shapes, which only
-// tightens the cross-set tolerance.
+// function of (m, k, n), so dispatch stays deterministic; problems under
+// it run the shared naive loops on EVERY tier, bit-identical to the
+// naive set, which only tightens the cross-set tolerance.
 constexpr std::size_t kSmallMacCutoff = 4096;
 
 inline bool small_problem(std::size_t m, std::size_t k, std::size_t n) {
@@ -322,6 +180,10 @@ inline bool small_problem(std::size_t m, std::size_t k, std::size_t n) {
 // than the microkernel reads back; eight independent float lanes per dot
 // product vectorize directly off the contiguous source rows instead. The
 // lane split and reduction tree are fixed, so results stay deterministic.
+// The avx2 tier's override (simd_avx2.cpp) keeps the same lane split and
+// the same final reduction tree, so it differs from this one only at FMA
+// rounding inside a lane — inside the cross-set tolerance like the
+// microkernel.
 void dot_abt_accum(const float* a, const float* b, float* c, std::size_t m,
                    std::size_t k, std::size_t n, const float* col_bias,
                    float* a_row_sums) {
@@ -361,10 +223,23 @@ void dot_abt_accum(const float* a, const float* b, float* c, std::size_t m,
 // output row is a fixed-order sum of k scaled contiguous rows of B — pure
 // axpy streams, nothing to pack, nothing wasted on padding.
 void axpy_atb_accum(const float* a, const float* b, float* c, std::size_t k,
-                    std::size_t m, std::size_t n, float* a_col_sums) {
+                    std::size_t m, std::size_t n, float* a_col_sums,
+                    bool overwrite) {
   for (std::size_t i = 0; i < m; ++i) {
     float* crow = c + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
+    std::size_t p0 = 0;
+    if (overwrite) {
+      // The p = 0 term assigns instead of accumulating, which replaces a
+      // caller-side memset + read-modify-write with a single write pass.
+      if (k == 0) {
+        for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+        continue;
+      }
+      const float ai = a[i];
+      for (std::size_t j = 0; j < n; ++j) crow[j] = ai * b[j];
+      p0 = 1;
+    }
+    for (std::size_t p = p0; p < k; ++p) {
       const float api = a[p * m + i];
       const float* brow = b + p * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
@@ -381,14 +256,17 @@ void axpy_atb_accum(const float* a, const float* b, float* c, std::size_t k,
 
 void blocked_gemm(const float* a, const float* b, float* c, std::size_t m,
                   std::size_t k, std::size_t n, const float* row_bias) {
-  if (small_problem(m, k, n) || (k <= 16 && n >= 256)) {
-    // Shallow reductions over wide C (conv1's 9-tap forward GEMM) are
-    // axpy-bound; the reference loops already stream them vectorized.
+  if (small_problem(m, k, n)) {
     naive_gemm(a, b, c, m, k, n, row_bias);
     return;
   }
-  gemm_driver(a, k, PackA::plain, b, n, PackB::plain, c, m, k, n,
-              /*overwrite=*/true, row_bias, nullptr, nullptr);
+  if (k <= 16 && n >= 256) {
+    // Shallow reductions over wide C (conv1's 9-tap forward GEMM) are
+    // axpy-bound: nothing to pack, so the tier streams them directly.
+    tier_ops().wide_gemm(a, b, c, m, k, n, row_bias);
+    return;
+  }
+  tier_ops().gemm(a, b, c, m, k, n, row_bias);
 }
 
 void blocked_gemm_a_bt_accum(const float* a, const float* b, float* c,
@@ -399,11 +277,10 @@ void blocked_gemm_a_bt_accum(const float* a, const float* b, float* c,
     return;
   }
   if (m * n <= 512 && k >= 512) {
-    dot_abt_accum(a, b, c, m, k, n, col_bias, a_row_sums);
+    tier_ops().dot_abt(a, b, c, m, k, n, col_bias, a_row_sums);
     return;
   }
-  gemm_driver(a, k, PackA::plain, b, k, PackB::trans, c, m, k, n,
-              /*overwrite=*/false, nullptr, col_bias, a_row_sums);
+  tier_ops().gemm_a_bt_accum(a, b, c, m, k, n, col_bias, a_row_sums);
 }
 
 void blocked_gemm_at_b_accum(const float* a, const float* b, float* c,
@@ -414,19 +291,39 @@ void blocked_gemm_at_b_accum(const float* a, const float* b, float* c,
     return;
   }
   if (k <= 16 && n >= 256) {
-    axpy_atb_accum(a, b, c, k, m, n, a_col_sums);
+    tier_ops().axpy_atb(a, b, c, k, m, n, a_col_sums, /*overwrite=*/false);
     return;
   }
-  gemm_driver(a, m, PackA::trans, b, n, PackB::plain, c, m, k, n,
-              /*overwrite=*/false, nullptr, nullptr, a_col_sums);
+  tier_ops().gemm_at_b_accum(a, b, c, k, m, n, a_col_sums);
 }
+
+namespace {
+
+// C = A^T * B into a buffer whose prior contents are dead (the conv
+// backward's column-gradient workspace). On the axpy route the tier
+// overwrites directly; off it, fall back to zero-then-accumulate so the
+// routing cutoffs stay the single source of truth.
+void gemm_at_b_overwrite(const float* a, const float* b, float* c,
+                         std::size_t k, std::size_t m, std::size_t n,
+                         float* a_col_sums) {
+  if (!small_problem(m, k, n) && k <= 16 && n >= 256) {
+    tier_ops().axpy_atb(a, b, c, k, m, n, a_col_sums, /*overwrite=*/true);
+    return;
+  }
+  std::memset(c, 0, m * n * sizeof(float));
+  blocked_gemm_at_b_accum(a, b, c, k, m, n, a_col_sums);
+}
+
+}  // namespace
 
 // The whole batch is lowered into ONE column matrix col[K x batch*oh*ow]
 // (image b's columns at offset b*oh*ow) so each conv op is a single
 // well-shaped GEMM instead of `batch` packing-dominated slivers. The GEMM
 // runs in [cout x batch*oh*ow] layout; a row-segment memcpy pass converts
 // to/from the tensor's [batch][cout][oh*ow] layout. The lowering order is
-// a pure function of the shape, so determinism is unaffected.
+// a pure function of the shape, and each batch image packs a disjoint
+// column range, so the kernel_pool() fan-out (nullptr = inline) leaves
+// results bit-identical for any thread count.
 void blocked_conv2d_forward(const Conv2dShape& s, const float* in,
                             const float* weights, const float* bias,
                             float* out) {
@@ -436,17 +333,18 @@ void blocked_conv2d_forward(const Conv2dShape& s, const float* in,
   Workspace& ws = Workspace::tls();
   float* col = ws.floats(Workspace::kIm2col, kdim * n_all).data();
   float* out_all = ws.floats(Workspace::kConvIo, s.cout * n_all).data();
-  for (std::size_t b = 0; b < s.batch; ++b) {
-    im2col(s, in + b * s.cin * s.h * s.w, col + b * ohow, n_all);
-  }
+  const TierOps& ops = tier_ops();
+  runtime::parallel_for(kernel_pool(), s.batch, [&](std::size_t b) {
+    ops.im2col(s, in + b * s.cin * s.h * s.w, col + b * ohow, n_all);
+  });
   // out_all[cout x batch*oh*ow] = W[cout x K] * col + bias (fused per-row).
   blocked_gemm(weights, col, out_all, s.cout, kdim, n_all, bias);
-  for (std::size_t b = 0; b < s.batch; ++b) {
+  runtime::parallel_for(kernel_pool(), s.batch, [&](std::size_t b) {
     for (std::size_t c = 0; c < s.cout; ++c) {
       std::memcpy(out + (b * s.cout + c) * ohow, out_all + c * n_all + b * ohow,
                   ohow * sizeof(float));
     }
-  }
+  });
 }
 
 void blocked_conv2d_backward(const Conv2dShape& s, const float* in,
@@ -458,25 +356,25 @@ void blocked_conv2d_backward(const Conv2dShape& s, const float* in,
   Workspace& ws = Workspace::tls();
   float* col = ws.floats(Workspace::kIm2col, kdim * n_all).data();
   float* go_all = ws.floats(Workspace::kConvIo, s.cout * n_all).data();
-  for (std::size_t b = 0; b < s.batch; ++b) {
-    im2col(s, in + b * s.cin * s.h * s.w, col + b * ohow, n_all);
+  const TierOps& ops = tier_ops();
+  runtime::parallel_for(kernel_pool(), s.batch, [&](std::size_t b) {
+    ops.im2col(s, in + b * s.cin * s.h * s.w, col + b * ohow, n_all);
     for (std::size_t c = 0; c < s.cout; ++c) {
       std::memcpy(go_all + c * n_all + b * ohow, go + (b * s.cout + c) * ohow,
                   ohow * sizeof(float));
     }
-  }
+  });
   // gw[cout x K] += go_all * col^T; the bias gradient rides the packing
   // pass as go_all's row sums.
   blocked_gemm_a_bt_accum(go_all, col, gw, s.cout, n_all, kdim, nullptr, gb);
   if (gi == nullptr) return;  // first-layer backward: input grad unused
   // colgrad[K x batch*oh*ow] = W^T * go_all, then scatter-add onto gi.
   float* colgrad = ws.floats(Workspace::kColGrad, kdim * n_all).data();
-  std::memset(colgrad, 0, kdim * n_all * sizeof(float));
-  blocked_gemm_at_b_accum(weights, go_all, colgrad, s.cout, kdim, n_all,
-                          nullptr);
-  for (std::size_t b = 0; b < s.batch; ++b) {
-    col2im_add(s, colgrad + b * ohow, n_all, gi + b * s.cin * s.h * s.w);
-  }
+  gemm_at_b_overwrite(weights, go_all, colgrad, s.cout, kdim, n_all, nullptr);
+  // Each image's column gradient scatters onto a disjoint gi plane.
+  runtime::parallel_for(kernel_pool(), s.batch, [&](std::size_t b) {
+    ops.col2im_add(s, colgrad + b * ohow, n_all, gi + b * s.cin * s.h * s.w);
+  });
 }
 
 }  // namespace collapois::kernels::detail

@@ -1,0 +1,138 @@
+// Internal: the conv2d lowering helpers (im2col / col2im) shared by
+// every ISA tier. The functions are defined inline so each tier's
+// translation unit gets its OWN instantiation, auto-vectorized at
+// whatever ISA that TU is built for (baseline SSE2 in blocked.cpp, AVX2
+// in simd_avx2.cpp). They contain only copies, zero-fills and plain
+// float adds — operations whose rounding is ISA-independent — so every
+// instantiation produces bit-identical output and the lowering never
+// weakens the cross-tier contracts.
+//
+// The span helpers exist because a lowered row is short (ow floats, a
+// few dozen bytes): at that size the call overhead of libc memcpy /
+// memset dominates the copy itself, and im2col issues thousands of them
+// per batch. A plain word loop inlines to a handful of vector moves.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+
+#include "kernels/kernels.h"
+
+namespace collapois::kernels::detail::lower {
+
+inline void copy_span(float* __restrict dst, const float* __restrict src,
+                      std::size_t n) {
+  if (n > 64) {
+    std::memcpy(dst, src, n * sizeof(float));
+    return;
+  }
+  for (std::size_t x = 0; x < n; ++x) dst[x] = src[x];
+}
+
+inline void zero_span(float* __restrict dst, std::size_t n) {
+  if (n > 64) {
+    std::memset(dst, 0, n * sizeof(float));
+    return;
+  }
+  for (std::size_t x = 0; x < n; ++x) dst[x] = 0.0f;
+}
+
+// col[(ic*k + ky)*k + kx][oy*ow + ox] = image[ic][oy+ky-pad][ox+kx-pad]
+// (zero outside the image). One row of `col` per filter tap; the valid
+// ox span is copied contiguously, the padded edges are zero-filled.
+// `ldcol` is the column matrix's leading dimension, so a whole batch can
+// be lowered side by side (image b's columns at offset b*oh*ow).
+inline void im2col(const Conv2dShape& s, const float* image, float* col,
+                   std::size_t ldcol) {
+  float* dst = col;
+  for (std::size_t ic = 0; ic < s.cin; ++ic) {
+    const float* plane = image + ic * s.h * s.w;
+    for (std::size_t ky = 0; ky < s.k; ++ky) {
+      // Rows of the output whose source row lands inside the image: the
+      // bound depends only on ky, so hoist it out of the tap loop and
+      // zero-fill the out-of-range top/bottom rows in one span each.
+      const std::size_t oy_lo = ky < s.pad ? s.pad - ky : 0;
+      const std::size_t oy_hi =
+          std::min(s.oh, s.h + s.pad > ky ? s.h + s.pad - ky : 0);
+      for (std::size_t kx = 0; kx < s.k; ++kx, dst += ldcol) {
+        const std::size_t ox_lo = kx < s.pad ? s.pad - kx : 0;
+        const std::size_t ox_hi =
+            std::min(s.ow, s.w + s.pad > kx ? s.w + s.pad - kx : 0);
+        if (oy_lo >= oy_hi || ox_lo >= ox_hi) {
+          zero_span(dst, s.oh * s.ow);
+          continue;
+        }
+        if (oy_lo > 0) zero_span(dst, oy_lo * s.ow);
+        if (oy_hi < s.oh) {
+          zero_span(dst + oy_hi * s.ow, (s.oh - oy_hi) * s.ow);
+        }
+        const float* src = plane +
+                           (oy_lo + ky - s.pad) * s.w +  // first valid row
+                           (ox_lo + kx - s.pad);         // first valid col
+        float* row = dst + oy_lo * s.ow;
+        if (s.ow == s.w) {
+          // Stride-1 'same' padding keeps ow == w, so consecutive output
+          // rows and consecutive image rows advance by the same stride:
+          // the whole valid block is one contiguous copy (the dominant
+          // case — per-row dispatch overhead otherwise swamps these
+          // few-dozen-byte rows). The shifted copy drags a neighbouring
+          // image value into each padded edge column; the edge fixup
+          // loop below re-zeroes those (at most `pad` floats per side).
+          copy_span(row + ox_lo,
+                    src, (oy_hi - oy_lo - 1) * s.w + (ox_hi - ox_lo));
+          for (std::size_t oy = oy_lo; oy < oy_hi; ++oy, row += s.ow) {
+            if (ox_lo > 0) zero_span(row, ox_lo);
+            if (ox_hi < s.ow) zero_span(row + ox_hi, s.ow - ox_hi);
+          }
+          continue;
+        }
+        for (std::size_t oy = oy_lo; oy < oy_hi;
+             ++oy, row += s.ow, src += s.w) {
+          if (ox_lo > 0) zero_span(row, ox_lo);
+          copy_span(row + ox_lo, src, ox_hi - ox_lo);
+          if (ox_hi < s.ow) zero_span(row + ox_hi, s.ow - ox_hi);
+        }
+      }
+    }
+  }
+}
+
+// Scatter-add of a column-matrix gradient back onto the image gradient:
+// the exact adjoint of im2col (same ldcol convention).
+inline void col2im_add(const Conv2dShape& s, const float* col,
+                       std::size_t ldcol, float* grad_image) {
+  const float* src = col;
+  for (std::size_t ic = 0; ic < s.cin; ++ic) {
+    float* plane = grad_image + ic * s.h * s.w;
+    for (std::size_t ky = 0; ky < s.k; ++ky) {
+      const std::size_t oy_lo = ky < s.pad ? s.pad - ky : 0;
+      const std::size_t oy_hi =
+          std::min(s.oh, s.h + s.pad > ky ? s.h + s.pad - ky : 0);
+      for (std::size_t kx = 0; kx < s.k; ++kx, src += ldcol) {
+        const std::size_t ox_lo = kx < s.pad ? s.pad - kx : 0;
+        const std::size_t ox_hi =
+            std::min(s.ow, s.w + s.pad > kx ? s.w + s.pad - kx : 0);
+        if (ox_lo >= ox_hi || oy_lo >= oy_hi) continue;
+        const float* __restrict row = src + oy_lo * s.ow + ox_lo;
+        float* __restrict irow =
+            plane + (oy_lo + ky - s.pad) * s.w + (ox_lo + kx - s.pad);
+        if (s.ow == s.w && ox_lo == 0 && ox_hi == s.ow) {
+          // Full-width tap with matching strides: the valid block is one
+          // contiguous add. Each target element is touched once per tap
+          // either way, so fusing the rows changes nothing numerically.
+          const std::size_t len = (oy_hi - oy_lo) * s.ow;
+          for (std::size_t x = 0; x < len; ++x) irow[x] += row[x];
+          continue;
+        }
+        const std::size_t span = ox_hi - ox_lo;
+        for (std::size_t oy = oy_lo; oy < oy_hi;
+             ++oy, row += s.ow, irow += s.w) {
+          for (std::size_t x = 0; x < span; ++x) irow[x] += row[x];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace collapois::kernels::detail::lower

@@ -26,6 +26,10 @@
 #include <cstdint>
 #include <string>
 
+namespace collapois::runtime {
+class ThreadPool;
+}
+
 namespace collapois::kernels {
 
 enum class KernelKind { naive, blocked };
@@ -96,6 +100,31 @@ KernelKind active_kernels();
 
 const KernelOps& ops();                    // the active set
 const KernelOps& ops_for(KernelKind kind); // a specific set
+
+// --- kernel-internal parallelism ----------------------------------------
+// The conv lowering fans its per-image im2col/col2im passes out over this
+// thread-local pool (nullptr = run inline; see runtime/parallel.h). Each
+// image packs a disjoint range, so results are bit-identical for any
+// thread count — the pool trades wall time only.
+//
+// The pool is installed with ScopedKernelPool from code that is NOT
+// running inside a ThreadPool task (parallel_for must never nest, see
+// runtime/thread_pool.h). Worker threads never inherit it: the pointer is
+// thread-local, so kernels called from per-client training tasks always
+// see nullptr and stay sequential. Install it on the main thread around
+// single-model hot paths (trojan-model training, benches).
+runtime::ThreadPool* kernel_pool();
+
+class ScopedKernelPool {
+ public:
+  explicit ScopedKernelPool(runtime::ThreadPool* pool);
+  ~ScopedKernelPool();
+  ScopedKernelPool(const ScopedKernelPool&) = delete;
+  ScopedKernelPool& operator=(const ScopedKernelPool&) = delete;
+
+ private:
+  runtime::ThreadPool* prev_;
+};
 
 // --- flat-vector aggregation math ---------------------------------------
 // Hot helpers behind tensor/vecops.h, compiled in this library's optimized

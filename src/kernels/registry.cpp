@@ -61,4 +61,23 @@ const KernelOps& ops_for(KernelKind kind) {
 
 const KernelOps& ops() { return ops_for(active_kernels()); }
 
+namespace {
+
+// Thread-local by design: worker threads never install a kernel pool, so
+// kernels called from inside a ThreadPool task always see nullptr and
+// stay sequential — nested parallel_for (a deadlock, see
+// runtime/thread_pool.h) is impossible by construction.
+thread_local runtime::ThreadPool* t_kernel_pool = nullptr;
+
+}  // namespace
+
+runtime::ThreadPool* kernel_pool() { return t_kernel_pool; }
+
+ScopedKernelPool::ScopedKernelPool(runtime::ThreadPool* pool)
+    : prev_(t_kernel_pool) {
+  t_kernel_pool = pool;
+}
+
+ScopedKernelPool::~ScopedKernelPool() { t_kernel_pool = prev_; }
+
 }  // namespace collapois::kernels

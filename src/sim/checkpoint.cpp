@@ -71,6 +71,13 @@ std::uint64_t config_fingerprint(const ExperimentConfig& c) {
   // The kernel set is INCLUDED: naive and blocked kernels produce
   // different float rounding, so resuming a checkpoint under the other
   // set would silently splice two numerically different trajectories.
+  // Only the KIND is covered — the runtime ISA dispatch tier
+  // (kernels/cpu_dispatch.h) is deliberately excluded: one binary must
+  // write a checkpoint on an AVX2 host and resume it on a scalar-only
+  // host. Coordinate defense paths are bit-exact across tiers (the
+  // property suites enforce it), and GEMM tiers differ only at FMA
+  // rounding level — the same order of difference the tolerance gates
+  // already accept between hosts.
   h = mix(h, static_cast<std::uint64_t>(c.kernels));
   // Same rationale for the defense-kernel set: Krum/FLARE distances round
   // differently under the gram-based fast path than under the naive

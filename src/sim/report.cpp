@@ -3,6 +3,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "defense/defense_kernels.h"
+#include "kernels/cpu_dispatch.h"
+
 namespace collapois::sim {
 
 void print_series(std::ostream& os, const std::string& title,
@@ -67,7 +70,22 @@ void write_series_csv(std::ostream& os, const std::vector<SeriesRow>& rows) {
 
 void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
                        const std::vector<RoundRecord>& rounds) {
-  os << "{\"tag\": \"" << experiment_tag(config) << "\",\n \"rounds\": [";
+  // The kernels block records which compute path produced this run:
+  // kernel set, defense impl, and the runtime-dispatched ISA tier
+  // (cpu_dispatch.h) with its microkernel geometry and the cpuid feature
+  // flags. BENCH_*/report artifacts are not comparable across tiers
+  // without it.
+  const kernels::DispatchInfo di = kernels::dispatch_info();
+  os << "{\"tag\": \"" << experiment_tag(config) << "\",\n \"kernels\": {"
+     << "\"set\": \"" << kernels::kernel_kind_name(config.kernels) << "\""
+     << ", \"defense_impl\": \""
+     << defense::defense_impl_name(config.defense_impl) << "\""
+     << ", \"isa_tier\": \"" << kernels::isa_tier_name(di.tier) << "\""
+     << ", \"microkernel\": \"" << di.microkernel << "\""
+     << ", \"mr\": " << di.mr << ", \"nr\": " << di.nr
+     << ", \"forced\": " << (di.forced ? "true" : "false")
+     << ", \"cpu_features\": \"" << kernels::cpu_feature_string() << "\"},\n"
+     << " \"rounds\": [";
   bool first = true;
   for (const auto& r : rounds) {
     if (!first) os << ",";

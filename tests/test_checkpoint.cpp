@@ -13,8 +13,10 @@
 
 #include "data/partition.h"
 #include "data/synthetic_text.h"
+#include "defense/registry.h"
 #include "fl/server_algorithm.h"
 #include "fl/state.h"
+#include "kernels/cpu_dispatch.h"
 #include "kernels/kernels.h"
 #include "nn/zoo.h"
 #include "sim/checkpoint.h"
@@ -112,6 +114,67 @@ TEST(ConfigFingerprint, SeparatesKernelSets) {
   b.kernels = kernels::KernelKind::naive;
   ASSERT_NE(a.kernels, b.kernels);
   EXPECT_NE(sim::config_fingerprint(a), sim::config_fingerprint(b));
+}
+
+TEST(ConfigFingerprint, IgnoresDispatchTier) {
+  // The runtime ISA tier (kernels/cpu_dispatch.h) is deliberately NOT
+  // part of the fingerprint: only the kernel KIND pins a trajectory, so
+  // one binary can write a checkpoint on an AVX2 host and resume it on a
+  // scalar-only host. Pin that by computing the fingerprint under every
+  // available tier.
+  sim::ExperimentConfig cfg;
+  const kernels::IsaTier entry = kernels::active_tier();
+  kernels::set_active_tier(kernels::IsaTier::scalar);
+  const std::uint64_t scalar_fp = sim::config_fingerprint(cfg);
+  kernels::set_active_tier(kernels::detected_tier());
+  EXPECT_EQ(sim::config_fingerprint(cfg), scalar_fp);
+  kernels::set_active_tier(entry);
+}
+
+// The cross-host regression the fingerprint exclusion promises: write a
+// checkpoint under the host's best tier (AVX2 in CI), resume under the
+// forced scalar tier, and demand bit identity with a straight scalar
+// run. The config keeps every tier-dispatched float path on a bit-exact
+// route: naive training kernels (not tier-dispatched) + a coordinate
+// defense through the fast SIMD tiles (bit-exact across tiers by the
+// DefenseKernelDispatch suites).
+TEST(CheckpointResume, BitExactWhenTierChangesAcrossResume) {
+  sim::ExperimentConfig cfg;
+  cfg.dataset = sim::DatasetKind::sentiment_like;
+  cfg.n_clients = 8;
+  cfg.samples_per_client = 30;
+  cfg.rounds = 6;
+  cfg.sample_prob = 0.5;
+  cfg.attack = sim::AttackKind::none;
+  cfg.seed = 99;
+  cfg.kernels = kernels::KernelKind::naive;
+  cfg.defense = defense::DefenseKind::coord_median;
+  cfg.defense_impl = defense::DefenseImpl::fast;
+
+  const kernels::IsaTier entry = kernels::active_tier();
+  const kernels::IsaTier best = kernels::detected_tier();
+
+  // Straight run entirely on the scalar tier.
+  kernels::set_active_tier(kernels::IsaTier::scalar);
+  const sim::ExperimentResult straight = sim::run_experiment(cfg);
+
+  // Checkpoint half the run on the best tier the host has...
+  kernels::set_active_tier(best);
+  const TempFile file("ckpt_cross_tier.bin");
+  sim::RunOptions save;
+  save.checkpoint_save_path = file.path();
+  save.checkpoint_round = cfg.rounds / 2;
+  (void)sim::run_experiment(cfg, save);
+
+  // ...and resume it on the scalar tier.
+  kernels::set_active_tier(kernels::IsaTier::scalar);
+  sim::RunOptions resume;
+  resume.checkpoint_load_path = file.path();
+  const sim::ExperimentResult resumed = sim::run_experiment(cfg, resume);
+  kernels::set_active_tier(entry);
+
+  ASSERT_EQ(resumed.final_global.size(), straight.final_global.size());
+  EXPECT_EQ(resumed.final_global, straight.final_global);  // bit-exact
 }
 
 TEST(CheckpointFile, RejectsResumeUnderOtherKernelSet) {

@@ -10,9 +10,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 #include <vector>
 
 #include "defense/defense_kernels.h"
+#include "kernels/cpu_dispatch.h"
 #include "defense/flare.h"
 #include "defense/krum.h"
 #include "defense/median.h"
@@ -60,9 +62,12 @@ std::vector<fl::ClientUpdate> tied_updates(std::size_t n, std::size_t d,
 // (n, d) shapes covering the edge cases: a single update, a pair (even n),
 // odd n, d below / straddling / above the 128-coordinate tile width, and a
 // shape big enough that the gram path tiles in both directions.
+// The two n > 128 shapes (one even, one odd) cross fast_median's
+// sorting-network-to-selection cutoff, so both of its paths are swept.
 const std::vector<std::pair<std::size_t, std::size_t>> kShapes = {
     {1, 7}, {2, 5},  {3, 64},  {4, 130},
     {5, 1}, {6, 257}, {9, 128}, {70, 333},
+    {130, 40}, {151, 97},
 };
 
 void expect_pairwise_close(const fl::UpdateMatrix& m,
@@ -186,6 +191,124 @@ TEST(DefenseKernelProperty, CoordinateOpsBitIdenticalToNaive) {
       naive_ops.sign_vote(m, 0.01, ref.data(), nullptr);
       fast_ops.sign_vote(m, 0.01, got.data(), nullptr);
       EXPECT_EQ(ref, got) << "sign n=" << n << " d=" << d;
+    }
+  }
+}
+
+// --- runtime ISA dispatch: every tier must honor the same contracts ----
+
+std::vector<kernels::IsaTier> available_tiers() {
+  std::vector<kernels::IsaTier> tiers{kernels::IsaTier::scalar};
+  if (kernels::detected_tier() >= kernels::IsaTier::sse2) {
+    tiers.push_back(kernels::IsaTier::sse2);
+  }
+  if (kernels::detected_tier() >= kernels::IsaTier::avx2) {
+    tiers.push_back(kernels::IsaTier::avx2);
+  }
+  return tiers;
+}
+
+struct TierGuard {
+  kernels::IsaTier entry = kernels::active_tier();
+  ~TierGuard() { kernels::set_active_tier(entry); }
+};
+
+// The exact-equality contract holds on EVERY tier, not just the default:
+// the SIMD column tiles keep per-lane op order identical to the naive
+// per-column rules. kShapes stresses the ragged tail (d % 8 != 0 drops
+// into the padded-gather path), n=1, even n, and the tied_updates
+// generator drives the sorting networks and sign votes through exact
+// duplicates.
+TEST(DefenseKernelDispatch, CoordinateOpsMatchNaiveExactlyOnEveryTier) {
+  TierGuard guard;
+  const auto& naive_ops = defense_ops_for(DefenseImpl::naive);
+  const auto& fast_ops = defense_ops_for(DefenseImpl::fast);
+  for (const auto tier : available_tiers()) {
+    kernels::set_active_tier(tier);
+    for (const auto& [n, d] : kShapes) {
+      for (const bool ties : {false, true}) {
+        SCOPED_TRACE(testing::Message()
+                     << kernels::isa_tier_name(tier) << " n=" << n
+                     << " d=" << d << (ties ? " ties" : ""));
+        const auto updates = ties ? tied_updates(n, d, 7 + n + d)
+                                  : random_updates(n, d, 7 + n + d);
+        const fl::UpdateMatrix m(updates);
+        std::vector<float> ref(d);
+        std::vector<float> got(d);
+
+        naive_ops.coord_median(m, ref.data(), nullptr);
+        fast_ops.coord_median(m, got.data(), nullptr);
+        EXPECT_EQ(ref, got) << "median";
+
+        for (const std::size_t trim : {std::size_t{0}, std::size_t{1},
+                                       (n > std::size_t{1}) ? n / 2 : 0}) {
+          naive_ops.trimmed_mean(m, trim, ref.data(), nullptr);
+          fast_ops.trimmed_mean(m, trim, got.data(), nullptr);
+          EXPECT_EQ(ref, got) << "trimmed trim=" << trim;
+        }
+
+        naive_ops.rlr_vote(m, 2.0, ref.data(), nullptr);
+        fast_ops.rlr_vote(m, 2.0, got.data(), nullptr);
+        EXPECT_EQ(ref, got) << "rlr";
+
+        naive_ops.sign_vote(m, 0.01, ref.data(), nullptr);
+        fast_ops.sign_vote(m, 0.01, got.data(), nullptr);
+        EXPECT_EQ(ref, got) << "sign";
+      }
+    }
+  }
+}
+
+// Across tiers the coordinate outputs are BIT-identical (memcmp, not just
+// float ==): the scalar tile mirrors the SIMD min/max and mask semantics
+// lane for lane. This is the property that lets a checkpointed coordinate
+// trajectory resume on any host.
+TEST(DefenseKernelDispatch, CoordinateOpsBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  const auto& fast_ops = defense_ops_for(DefenseImpl::fast);
+  for (const auto& [n, d] : kShapes) {
+    const auto updates = tied_updates(n, d, 99 + n + d);
+    const fl::UpdateMatrix m(updates);
+    kernels::set_active_tier(kernels::IsaTier::scalar);
+    std::vector<float> med0(d), trim0(d), rlr0(d), sign0(d);
+    fast_ops.coord_median(m, med0.data(), nullptr);
+    fast_ops.trimmed_mean(m, n > 2 ? 1 : 0, trim0.data(), nullptr);
+    fast_ops.rlr_vote(m, 2.0, rlr0.data(), nullptr);
+    fast_ops.sign_vote(m, 0.01, sign0.data(), nullptr);
+    for (const auto tier : available_tiers()) {
+      SCOPED_TRACE(testing::Message()
+                   << kernels::isa_tier_name(tier) << " n=" << n << " d=" << d);
+      kernels::set_active_tier(tier);
+      std::vector<float> med(d), trim(d), rlr(d), sign(d);
+      fast_ops.coord_median(m, med.data(), nullptr);
+      fast_ops.trimmed_mean(m, n > 2 ? 1 : 0, trim.data(), nullptr);
+      fast_ops.rlr_vote(m, 2.0, rlr.data(), nullptr);
+      fast_ops.sign_vote(m, 0.01, sign.data(), nullptr);
+      EXPECT_EQ(0, std::memcmp(med.data(), med0.data(), d * sizeof(float)));
+      EXPECT_EQ(0, std::memcmp(trim.data(), trim0.data(), d * sizeof(float)));
+      EXPECT_EQ(0, std::memcmp(rlr.data(), rlr0.data(), d * sizeof(float)));
+      EXPECT_EQ(0, std::memcmp(sign.data(), sign0.data(), d * sizeof(float)));
+    }
+  }
+}
+
+// Pairwise distances ride the tier-dispatched GEMM, so every tier must
+// stay inside the Gram cancellation tolerance against the naive loops.
+TEST(DefenseKernelDispatch, PairwiseDistancesWithinToleranceOnEveryTier) {
+  TierGuard guard;
+  const auto& naive_ops = defense_ops_for(DefenseImpl::naive);
+  const auto& fast_ops = defense_ops_for(DefenseImpl::fast);
+  for (const auto& [n, d] : kShapes) {
+    const fl::UpdateMatrix m(random_updates(n, d, 4000 + n * 13 + d));
+    std::vector<double> ref(n * n);
+    naive_ops.pairwise_sq_dists(m, ref.data(), nullptr);
+    for (const auto tier : available_tiers()) {
+      SCOPED_TRACE(testing::Message()
+                   << kernels::isa_tier_name(tier) << " n=" << n << " d=" << d);
+      kernels::set_active_tier(tier);
+      std::vector<double> got(n * n);
+      fast_ops.pairwise_sq_dists(m, got.data(), nullptr);
+      expect_pairwise_close(m, ref, got);
     }
   }
 }

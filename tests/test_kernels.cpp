@@ -7,17 +7,42 @@
 // regex alongside the Runtime* suites.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <vector>
 
+#include "kernels/cpu_dispatch.h"
 #include "kernels/kernels.h"
 #include "kernels/workspace.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "stats/rng.h"
 #include "tensor/vecops.h"
 
 namespace collapois {
 namespace {
+
+// Every ISA tier the build host can execute, scalar first. The property
+// sweeps run once per entry; on a scalar-only host that is still a valid
+// (if smaller) sweep — the CI dispatch matrix covers the rest.
+std::vector<kernels::IsaTier> available_tiers() {
+  std::vector<kernels::IsaTier> tiers{kernels::IsaTier::scalar};
+  if (kernels::detected_tier() >= kernels::IsaTier::sse2) {
+    tiers.push_back(kernels::IsaTier::sse2);
+  }
+  if (kernels::detected_tier() >= kernels::IsaTier::avx2) {
+    tiers.push_back(kernels::IsaTier::avx2);
+  }
+  return tiers;
+}
+
+// Restores the entry tier on scope exit so a failing sweep cannot leak a
+// forced tier into later tests.
+struct TierGuard {
+  kernels::IsaTier entry = kernels::active_tier();
+  ~TierGuard() { kernels::set_active_tier(entry); }
+};
 
 std::vector<float> random_vec(stats::Rng& rng, std::size_t n) {
   std::vector<float> v(n);
@@ -73,6 +98,11 @@ const GemmShape kGemmShapes[] = {
     {1, 1, 1},    {1, 7, 9},    {3, 5, 7},     {4, 8, 8},    {5, 9, 11},
     {16, 32, 10}, {17, 33, 13}, {65, 40, 19},  {70, 300, 9}, {12, 257, 70},
     {33, 64, 33},
+    // Streaming-route shapes (blocked.cpp cutoffs): shallow-k over wide C
+    // (wide_gemm / axpy_atb, with a non-multiple-of-8 n tail) and a long
+    // dot-product reduction (dot_abt) — each tier's override must hold
+    // the same contracts as its microkernel.
+    {4, 9, 512},  {3, 12, 261}, {6, 600, 24},
 };
 
 TEST(KernelGemm, BlockedMatchesNaiveWithAndWithoutRowBias) {
@@ -452,6 +482,234 @@ TEST(KernelReluMask, BackwardZeroesExactlyTheInactiveLanes) {
     kernels::relu_backward_mask(g.data(), n, mask.data());
     EXPECT_EQ(0, std::memcmp(g.data(), want.data(), n * sizeof(float)));
   }
+}
+
+// --- runtime ISA dispatch (cpu_dispatch.h) ------------------------------
+
+TEST(KernelDispatch, DetectionIsConsistent) {
+  const kernels::CpuFeatures& f = kernels::cpu_features();
+  // Feature implications cpuid guarantees: avx2 ⊃ avx ⊃ sse2.
+  if (f.avx2) {
+    EXPECT_TRUE(f.avx);
+  }
+  if (f.avx) {
+    EXPECT_TRUE(f.sse2);
+  }
+  const kernels::IsaTier det = kernels::detected_tier();
+  if (det == kernels::IsaTier::avx2) {
+    EXPECT_TRUE(f.avx2);
+    EXPECT_TRUE(f.fma);
+  }
+  if (det >= kernels::IsaTier::sse2) {
+    EXPECT_TRUE(f.sse2);
+  }
+  // The active tier can never exceed what the CPU supports.
+  EXPECT_LE(kernels::active_tier(), det);
+  EXPECT_FALSE(kernels::cpu_feature_string().empty());
+}
+
+TEST(KernelDispatch, TierNamesRoundTripAndRejectUnknown) {
+  for (const auto t : {kernels::IsaTier::scalar, kernels::IsaTier::sse2,
+                       kernels::IsaTier::avx2}) {
+    EXPECT_EQ(kernels::parse_isa_tier(kernels::isa_tier_name(t)), t);
+  }
+  EXPECT_THROW(kernels::parse_isa_tier("avx512"), std::invalid_argument);
+  EXPECT_THROW(kernels::parse_isa_tier(""), std::invalid_argument);
+}
+
+TEST(KernelDispatch, DispatchInfoMatchesActiveTier) {
+  TierGuard guard;
+  for (const auto tier : available_tiers()) {
+    kernels::set_active_tier(tier);
+    const kernels::DispatchInfo d = kernels::dispatch_info();
+    EXPECT_EQ(d.tier, tier);
+    EXPECT_GT(d.mr, 0u);
+    EXPECT_GT(d.nr, 0u);
+    EXPECT_STRNE(d.microkernel, "");
+  }
+}
+
+TEST(KernelDispatch, ForcingAnUnsupportedTierThrows) {
+  if (kernels::detected_tier() == kernels::IsaTier::avx2) {
+    GTEST_SKIP() << "every tier is supported on this host";
+  }
+  EXPECT_THROW(kernels::set_active_tier(kernels::IsaTier::avx2),
+               std::runtime_error);
+}
+
+// Each tier's blocked set must satisfy the SAME cross-set contract the
+// default tier satisfies: agreement with naive to elementwise tolerance
+// on every ragged shape. The shape tables already stress odd tails
+// (dimensions past MR/NR/MC/KC boundaries) and batch=1.
+TEST(KernelDispatch, EveryTierGemmMatchesNaive) {
+  TierGuard guard;
+  stats::Rng rng(8080);
+  const auto& naive = kernels::ops_for(kernels::KernelKind::naive);
+  const auto& blocked = kernels::ops_for(kernels::KernelKind::blocked);
+  for (const auto& s : kGemmShapes) {
+    const auto a = random_vec(rng, s.m * s.k);
+    const auto b = random_vec(rng, s.k * s.n);
+    const auto bias = random_vec(rng, s.m);
+    const auto bt = random_vec(rng, s.n * s.k);
+    const auto at = random_vec(rng, s.k * s.m);
+    const auto c0 = random_vec(rng, s.m * s.n);
+
+    std::vector<float> want(s.m * s.n);
+    naive.gemm(a.data(), b.data(), want.data(), s.m, s.k, s.n, bias.data());
+    std::vector<float> want_abt = c0;
+    std::vector<float> want_abt_sums(s.m, 0.25f);
+    naive.gemm_a_bt_accum(a.data(), bt.data(), want_abt.data(), s.m, s.k, s.n,
+                          nullptr, want_abt_sums.data());
+    std::vector<float> want_atb = c0;
+    std::vector<float> want_atb_sums(s.m, -0.5f);
+    naive.gemm_at_b_accum(at.data(), b.data(), want_atb.data(), s.k, s.m, s.n,
+                          want_atb_sums.data());
+
+    for (const auto tier : available_tiers()) {
+      SCOPED_TRACE(testing::Message()
+                   << kernels::isa_tier_name(tier) << " m=" << s.m
+                   << " k=" << s.k << " n=" << s.n);
+      kernels::set_active_tier(tier);
+      std::vector<float> got(s.m * s.n, 42.0f);
+      blocked.gemm(a.data(), b.data(), got.data(), s.m, s.k, s.n, bias.data());
+      expect_close(got, want);
+      std::vector<float> got_abt = c0;
+      std::vector<float> got_abt_sums(s.m, 0.25f);
+      blocked.gemm_a_bt_accum(a.data(), bt.data(), got_abt.data(), s.m, s.k,
+                              s.n, nullptr, got_abt_sums.data());
+      expect_close(got_abt, want_abt);
+      expect_close(got_abt_sums, want_abt_sums);
+      std::vector<float> got_atb = c0;
+      std::vector<float> got_atb_sums(s.m, -0.5f);
+      blocked.gemm_at_b_accum(at.data(), b.data(), got_atb.data(), s.k, s.m,
+                              s.n, got_atb_sums.data());
+      expect_close(got_atb, want_atb);
+      expect_close(got_atb_sums, want_atb_sums);
+    }
+  }
+}
+
+TEST(KernelDispatch, EveryTierConvMatchesNaive) {
+  TierGuard guard;
+  stats::Rng rng(8181);
+  const auto& naive = kernels::ops_for(kernels::KernelKind::naive);
+  const auto& blocked = kernels::ops_for(kernels::KernelKind::blocked);
+  for (const auto& s : kConvShapes) {
+    const auto in = random_vec(rng, s.batch * s.cin * s.h * s.w);
+    const auto weights = random_vec(rng, s.cout * s.cin * s.k * s.k);
+    const auto bias = random_vec(rng, s.cout);
+    const auto go = random_vec(rng, s.batch * s.cout * s.oh * s.ow);
+
+    std::vector<float> want(go.size());
+    naive.conv2d_forward(s, in.data(), weights.data(), bias.data(),
+                         want.data());
+    std::vector<float> want_gw(weights.size(), 0.0f), want_gb(s.cout, 0.0f),
+        want_gi(in.size(), 0.0f);
+    naive.conv2d_backward(s, in.data(), weights.data(), go.data(),
+                          want_gw.data(), want_gb.data(), want_gi.data());
+
+    for (const auto tier : available_tiers()) {
+      SCOPED_TRACE(testing::Message()
+                   << kernels::isa_tier_name(tier) << " b=" << s.batch
+                   << " cin=" << s.cin << " cout=" << s.cout << " k=" << s.k);
+      kernels::set_active_tier(tier);
+      std::vector<float> got(go.size(), -3.0f);
+      blocked.conv2d_forward(s, in.data(), weights.data(), bias.data(),
+                             got.data());
+      expect_close(got, want);
+      std::vector<float> gw(weights.size(), 0.0f), gb(s.cout, 0.0f),
+          gi(in.size(), 0.0f);
+      blocked.conv2d_backward(s, in.data(), weights.data(), go.data(),
+                              gw.data(), gb.data(), gi.data());
+      expect_close(gw, want_gw);
+      expect_close(gb, want_gb);
+      expect_close(gi, want_gi);
+    }
+  }
+}
+
+// scalar and sse2 share mul-then-add rounding and the same blocking, so
+// they are bit-identical — a stronger contract than tolerance, and the
+// one that makes cross-host checkpoint resume exact below the avx2 tier.
+TEST(KernelDispatch, ScalarAndSse2TiersAreBitIdentical) {
+  if (kernels::detected_tier() < kernels::IsaTier::sse2) {
+    GTEST_SKIP() << "no sse2 tier on this host";
+  }
+  TierGuard guard;
+  stats::Rng rng(8282);
+  const auto& blocked = kernels::ops_for(kernels::KernelKind::blocked);
+  for (const auto& s : kGemmShapes) {
+    SCOPED_TRACE(testing::Message()
+                 << "m=" << s.m << " k=" << s.k << " n=" << s.n);
+    const auto a = random_vec(rng, s.m * s.k);
+    const auto b = random_vec(rng, s.k * s.n);
+    kernels::set_active_tier(kernels::IsaTier::scalar);
+    std::vector<float> scalar_c(s.m * s.n);
+    blocked.gemm(a.data(), b.data(), scalar_c.data(), s.m, s.k, s.n, nullptr);
+    kernels::set_active_tier(kernels::IsaTier::sse2);
+    std::vector<float> sse2_c(s.m * s.n);
+    blocked.gemm(a.data(), b.data(), sse2_c.data(), s.m, s.k, s.n, nullptr);
+    ASSERT_EQ(0, std::memcmp(scalar_c.data(), sse2_c.data(),
+                             scalar_c.size() * sizeof(float)));
+  }
+}
+
+// --- kernel pool: the conv batch fan-out ---------------------------------
+
+TEST(KernelPool, ConvResultsBitIdenticalWithAndWithoutPool) {
+  stats::Rng rng(8383);
+  const auto& blocked = kernels::ops_for(kernels::KernelKind::blocked);
+  const kernels::Conv2dShape s{4, 3, 8, 8, 5, 3, 1, 8, 8};
+  const auto in = random_vec(rng, s.batch * s.cin * s.h * s.w);
+  const auto weights = random_vec(rng, s.cout * s.cin * s.k * s.k);
+  const auto bias = random_vec(rng, s.cout);
+  const auto go = random_vec(rng, s.batch * s.cout * s.oh * s.ow);
+
+  ASSERT_EQ(kernels::kernel_pool(), nullptr);
+  std::vector<float> inline_out(go.size());
+  std::vector<float> inline_gw(weights.size(), 0.0f), inline_gb(s.cout, 0.0f),
+      inline_gi(in.size(), 0.0f);
+  blocked.conv2d_forward(s, in.data(), weights.data(), bias.data(),
+                         inline_out.data());
+  blocked.conv2d_backward(s, in.data(), weights.data(), go.data(),
+                          inline_gw.data(), inline_gb.data(),
+                          inline_gi.data());
+
+  runtime::ThreadPool pool(3);
+  {
+    kernels::ScopedKernelPool lend(&pool);
+    ASSERT_EQ(kernels::kernel_pool(), &pool);
+    std::vector<float> out(go.size());
+    std::vector<float> gw(weights.size(), 0.0f), gb(s.cout, 0.0f),
+        gi(in.size(), 0.0f);
+    blocked.conv2d_forward(s, in.data(), weights.data(), bias.data(),
+                           out.data());
+    blocked.conv2d_backward(s, in.data(), weights.data(), go.data(), gw.data(),
+                            gb.data(), gi.data());
+    EXPECT_EQ(0, std::memcmp(out.data(), inline_out.data(),
+                             out.size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(gw.data(), inline_gw.data(),
+                             gw.size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(gb.data(), inline_gb.data(),
+                             gb.size() * sizeof(float)));
+    EXPECT_EQ(0, std::memcmp(gi.data(), inline_gi.data(),
+                             gi.size() * sizeof(float)));
+  }
+  // RAII restores the previous (null) pool.
+  EXPECT_EQ(kernels::kernel_pool(), nullptr);
+}
+
+TEST(KernelPool, WorkerThreadsNeverInheritThePool) {
+  runtime::ThreadPool pool(2);
+  kernels::ScopedKernelPool lend(&pool);
+  ASSERT_EQ(kernels::kernel_pool(), &pool);
+  // The pointer is thread-local: tasks running ON the pool must see null,
+  // which is what makes nested parallel_for impossible by construction.
+  std::atomic<int> nonnull_seen{0};
+  runtime::parallel_for(&pool, 8, [&](std::size_t) {
+    if (kernels::kernel_pool() != nullptr) nonnull_seen.fetch_add(1);
+  });
+  EXPECT_EQ(nonnull_seen.load(), 0);
 }
 
 }  // namespace
