@@ -17,6 +17,7 @@
 // T=1 baseline (ordered reduction, DESIGN.md §7; fixed kernel reduction
 // order, DESIGN.md §9); the bench aborts loudly otherwise. The two sets
 // are NOT compared to each other — they round differently by design.
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -64,6 +65,11 @@ struct Point {
   double clients_per_sec = 0.0;
   double speedup = 1.0;
   bool bit_identical_to_t1 = true;
+  // threads > hardware_concurrency: the point asks for more workers than
+  // the machine has, so flat/negative scaling here is oversubscription,
+  // not a pool regression. Marked in the table and the JSON so a 1-core
+  // container's flat curve cannot be misread.
+  bool oversubscribed = false;
 };
 
 // Keyed by (kernel kind, thread count).
@@ -90,6 +96,7 @@ void run_point(benchmark::State& state, kernels::KernelKind kind,
     Point p;
     p.kernels = kind;
     p.threads = threads;
+    p.oversubscribed = threads > std::thread::hardware_concurrency();
     double cps_sum = 0.0;
     for (const auto& rec : r.rounds) {
       p.round_loop_ms += rec.wall_ms;
@@ -150,8 +157,14 @@ void finalize() {
               << p.threads << std::fixed << std::setprecision(1)
               << std::setw(16) << p.round_loop_ms << std::setw(12)
               << p.train_ms << std::setw(16) << p.clients_per_sec
-              << std::setprecision(2) << std::setw(10) << p.speedup << "\n";
+              << std::setprecision(2) << std::setw(10) << p.speedup
+              << (p.oversubscribed ? "  [oversubscribed]" : "") << "\n";
     std::cout.unsetf(std::ios::fixed);
+  }
+  if (std::any_of(pts.begin(), pts.end(),
+                  [](const auto& kv) { return kv.second.oversubscribed; })) {
+    std::cout << "[oversubscribed] = threads > hardware_concurrency; flat "
+                 "speedup there reflects the host, not the pool.\n";
   }
   // End-to-end kernel-layer win: blocked vs naive client training at T=1.
   double kernel_speedup_t1 = 0.0;
@@ -189,7 +202,9 @@ void finalize() {
         << ", \"round_loop_ms\": " << p.round_loop_ms
         << ", \"train_ms\": " << p.train_ms
         << ", \"clients_per_sec\": " << p.clients_per_sec
-        << ", \"speedup\": " << p.speedup << "}";
+        << ", \"speedup\": " << p.speedup
+        << ", \"oversubscribed\": " << (p.oversubscribed ? "true" : "false")
+        << "}";
   }
   out << "\n]}\n";
   if (!deterministic) std::exit(1);

@@ -79,6 +79,18 @@ implies --net):
                            sample ceil((1+F)*k), aggregate first k [0]
   --net-seed N             transport decision seed
 
+update codec (DESIGN.md paragraph 15; lossy codecs require --net —
+without a wire there is nothing to compress):
+  --codec NAME             identity | fp16 | int8 | topk        [identity]
+                           (identity = raw fp32 bits, bit-exact;
+                           fp16/int8 = per-tensor quantization;
+                           topk = magnitude sparsification with
+                           varint-delta indices + fp16 values)
+  --codec-bits N           quantization width for int8; only 8
+                           is supported (rejected loudly otherwise) [8]
+  --codec-topk F           kept-coordinate fraction for topk,
+                           in (0, 1]                                [0.1]
+
 round engine (DESIGN.md paragraph 11; every --async-* flag implies
 --round-engine buffered_async):
   --round-engine NAME      sync | buffered_async                   [sync]
@@ -301,6 +313,24 @@ int main(int argc, char** argv) {
       } else if (flag == "--net-seed") {
         cfg.net.seed = parse_count(flag, value());
         cfg.net.enabled = true;
+      } else if (flag == "--codec") {
+        // parse_codec_kind throws invalid_argument naming the bad codec
+        // and the valid set; the catch below turns it into usage().
+        cfg.codec.kind = net::parse_codec_kind(value());
+      } else if (flag == "--codec-bits") {
+        const std::uint64_t bits = parse_count(flag, value());
+        if (bits != 8) {
+          usage(flag + ": only 8-bit quantization is supported, got '" +
+                std::to_string(bits) + "'");
+        }
+        cfg.codec.bits = bits;
+      } else if (flag == "--codec-topk") {
+        const std::string raw = value();
+        const double v = parse_double(flag, raw);
+        if (!std::isfinite(v) || v <= 0.0 || v > 1.0) {
+          usage(flag + " must be in (0, 1], got '" + raw + "'");
+        }
+        cfg.codec.topk_fraction = v;
       } else if (flag == "--shards") {
         cfg.shards = parse_count(flag, value());
       } else if (flag == "--population") {
@@ -387,6 +417,10 @@ int main(int argc, char** argv) {
   }
   if (cfg.rounds == 0) usage("--rounds must be at least 1");
   if (cfg.sample_prob <= 0.0) usage("--q must be in (0, 1]");
+  if (net::codec_is_lossy(cfg.codec.kind) && !cfg.net.enabled) {
+    usage("a lossy --codec requires the simulated transport (--net) — "
+          "without a wire there is nothing to compress");
+  }
   if (cfg.shards == 0) usage("--shards must be at least 1");
   if (cfg.shards > cfg.n_clients) {
     usage("--shards must not exceed the registered population "

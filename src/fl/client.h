@@ -22,10 +22,12 @@
 // with itself.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "data/dataset.h"
 #include "fl/state.h"
+#include "net/codec.h"
 #include "fl/update.h"
 #include "nn/model.h"
 #include "nn/sgd.h"
@@ -39,6 +41,14 @@ class Client {
 
   virtual std::size_t id() const = 0;
   virtual bool is_compromised() const { return false; }
+
+  // Update-codec capability bitmask (net/codec.h) for the per-link
+  // handshake: the server offers its configured codec and this client
+  // masks it against what it speaks; identity is always in the mask (it
+  // is the raw wire format). Override to model constrained devices.
+  virtual std::uint32_t codec_capabilities() const {
+    return net::codec_capability_all();
+  }
 
   // Server-mediated round: produce the pseudo-gradient for theta^t.
   virtual ClientUpdate compute_update(const RoundContext& ctx) = 0;

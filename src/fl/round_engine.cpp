@@ -172,7 +172,8 @@ RoundTelemetry SyncRoundEngine::run_round(Server& server,
   // the simulated network. Deliveries are sorted by (virtual arrival
   // time, sampling index) and the first `target_cohort` intact
   // in-deadline arrivals make the round; the rest are excess. The
-  // accepted updates are the DECODED WIRE COPIES (bit-exact codec), and
+  // accepted updates are the DECODED WIRE COPIES (bit-exact under the
+  // default identity codec; within tolerance under a lossy one), and
   // the accounting loop below still walks sampling order — arrival order
   // only decides WHO is in, never the reduction order, so the aggregate
   // stays bit-identical across thread counts. Decisions are counter-based
@@ -189,7 +190,12 @@ RoundTelemetry SyncRoundEngine::run_round(Server& server,
     std::vector<std::optional<ClientUpdate>> wire(sampled.size());
     for (std::size_t i = 0; i < sampled.size(); ++i) {
       if (incoming[i].status == UpdateStatus::dropped) continue;
-      const net::Envelope env = net::encode_update(incoming[i], round);
+      // Per-link codec handshake: the server's offer masked against this
+      // client's capabilities (identity is the universal fallback).
+      const net::CodecConfig link_codec =
+          net::negotiate_codec(cfg.codec, sampled[i]->codec_capabilities());
+      const net::Envelope env =
+          net::encode_update(incoming[i], round, link_codec);
       net::Delivery d = cfg.net->transmit(sampled[i]->id(), round, env,
                                           &t.transport);
       switch (d.status) {
@@ -424,7 +430,9 @@ RoundTelemetry BufferedAsyncRoundEngine::run_round(Server& server,
     }
     ++n_trained;
     if (net_on) {
-      const net::Envelope env = net::encode_update(u, round);
+      const net::CodecConfig link_codec =
+          net::negotiate_codec(cfg.codec, c->codec_capabilities());
+      const net::Envelope env = net::encode_update(u, round, link_codec);
       net::Delivery d = net->transmit(c->id(), round, env, &t.transport);
       switch (d.status) {
         case net::DeliveryStatus::delivered:

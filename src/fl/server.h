@@ -71,6 +71,13 @@ struct ServerConfig {
   // with retries, deadlines and over-provisioned sampling; see DESIGN.md
   // §8 and net/network_model.h.
   net::NetworkModel* net = nullptr;
+  // Update codec the server OFFERS on each link when the transport is
+  // enabled (DESIGN.md §15); each client masks the offer against its
+  // codec_capabilities() and the negotiated codec encodes that link's
+  // payload. Identity (the default) keeps the wire format byte-identical
+  // to the pre-codec layer. Ignored while the transport is disabled —
+  // updates never cross the wire there.
+  net::CodecConfig codec;
   // Round engine selection (DESIGN.md §11). `sync` reproduces the
   // pre-engine behavior bit-exactly; `buffered_async` runs the
   // event-driven scheduler with the knobs in `async`.

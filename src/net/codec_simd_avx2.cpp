@@ -1,0 +1,247 @@
+// The avx2 codec tier: the integer half<->float construction and the
+// quantize/absmax scans of codec.cpp, eight lanes at a time. This is the
+// only TU in src/net built with -mavx2 -mfma (see net/CMakeLists.txt);
+// the cpuid dispatcher guarantees these functions are only CALLED on
+// CPUs that execute them, and codec_ops() additionally gates on
+// avx2_codec_compiled() so non-x86 builds fall back cleanly.
+//
+// Unlike the GEMM avx2 tier (last-ulp FMA differences, tolerance
+// contract), every op here is BIT-IDENTICAL to the scalar tier: the
+// conversions are pure integer manipulation, absmax is an order-free max
+// over sign-cleared lanes, and quantize uses cvtps round-to-nearest-even
+// with a single multiply — no FMA contraction anywhere on these paths
+// (scatter_add stays on the shared scalar body). Remainders route
+// through the scalar elementwise helpers in codec_tiles.h. The encoded
+// payload bytes therefore never depend on the host CPU (DESIGN.md §15).
+//
+// On non-x86 targets (or builds where the compiler cannot target AVX2)
+// this TU compiles to a stub: avx2_codec_compiled() returns false and
+// codec_ops() never dereferences the table.
+#include "net/codec_tiles.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace collapois::net::detail {
+
+namespace {
+
+void avx2_f32_to_f16(const float* src, std::uint16_t* dst, std::size_t n) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  const __m256i f32_infty = _mm256_set1_epi32(255 << 23);
+  const __m256i f16_max = _mm256_set1_epi32((127 + 16) << 23);
+  const __m256i denorm_cut = _mm256_set1_epi32(113 << 23);
+  const __m256 denorm_magic = _mm256_set1_ps(0.5f);
+  const __m256i denorm_magic_bits = _mm256_set1_epi32(0x3f000000);
+  const __m256i exp_rebias = _mm256_set1_epi32(
+      static_cast<int>((static_cast<std::uint32_t>(15 - 127) << 23) + 0xfff));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i f =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i sign16 =
+        _mm256_and_si256(_mm256_srli_epi32(f, 16), _mm256_set1_epi32(0x8000));
+    const __m256i a = _mm256_and_si256(f, abs_mask);
+
+    // Special lanes (signed compares, but every operand has the sign bit
+    // clear, so the order is the unsigned order).
+    const __m256i is_naninf = _mm256_cmpgt_epi32(
+        a, _mm256_sub_epi32(f32_infty, _mm256_set1_epi32(1)));
+    const __m256i is_nan = _mm256_cmpgt_epi32(a, f32_infty);
+    const __m256i is_overflow =
+        _mm256_cmpgt_epi32(a, _mm256_sub_epi32(f16_max, _mm256_set1_epi32(1)));
+    const __m256i is_denorm = _mm256_cmpgt_epi32(denorm_cut, a);
+
+    // Subnormal path: one RNE float add, then strip the magic bits.
+    const __m256 dn = _mm256_add_ps(_mm256_castsi256_ps(a), denorm_magic);
+    const __m256i dn_bits =
+        _mm256_sub_epi32(_mm256_castps_si256(dn), denorm_magic_bits);
+
+    // Normal path: rebias + round-to-nearest-even via the odd-mantissa
+    // increment.
+    const __m256i mant_odd =
+        _mm256_and_si256(_mm256_srli_epi32(a, 13), _mm256_set1_epi32(1));
+    const __m256i nm = _mm256_srli_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(a, exp_rebias), mant_odd), 13);
+
+    const __m256i naninf_val =
+        _mm256_blendv_epi8(_mm256_set1_epi32(0x7c00),
+                           _mm256_set1_epi32(0x7e00), is_nan);
+
+    __m256i h = _mm256_blendv_epi8(nm, dn_bits, is_denorm);
+    h = _mm256_blendv_epi8(h, _mm256_set1_epi32(0x7c00), is_overflow);
+    h = _mm256_blendv_epi8(h, naninf_val, is_naninf);
+    h = _mm256_or_si256(h, sign16);
+
+    // Eight u32 lanes -> eight u16s: packus within 128-bit lanes (values
+    // fit unsigned 16 bits, so unsigned saturation never fires), then
+    // gather the two distinct qwords.
+    const __m256i packed = _mm256_packus_epi32(h, h);
+    const __m256i ordered =
+        _mm256_permute4x64_epi64(packed, _MM_SHUFFLE(3, 1, 2, 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm256_castsi256_si128(ordered));
+  }
+  for (; i < n; ++i) dst[i] = half_from_float(src[i]);
+}
+
+void avx2_f16_to_f32(const std::uint16_t* src, float* dst, std::size_t n) {
+  const __m256i shifted_exp = _mm256_set1_epi32(0x7c00 << 13);
+  const __m256i exp_adjust = _mm256_set1_epi32((127 - 15) << 23);
+  const __m256i naninf_adjust = _mm256_set1_epi32((128 - 16) << 23);
+  const __m256 denorm_magic = _mm256_castsi256_ps(_mm256_set1_epi32(113 << 23));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m256i h = _mm256_cvtepu16_epi32(h16);
+    const __m256i mag =
+        _mm256_slli_epi32(_mm256_and_si256(h, _mm256_set1_epi32(0x7fff)), 13);
+    const __m256i exp = _mm256_and_si256(mag, shifted_exp);
+    __m256i o = _mm256_add_epi32(mag, exp_adjust);
+
+    const __m256i is_naninf = _mm256_cmpeq_epi32(exp, shifted_exp);
+    const __m256i is_denorm = _mm256_cmpeq_epi32(exp, _mm256_setzero_si256());
+
+    o = _mm256_add_epi32(o, _mm256_and_si256(is_naninf, naninf_adjust));
+    const __m256i dn_bits = _mm256_add_epi32(o, _mm256_set1_epi32(1 << 23));
+    const __m256 dn = _mm256_sub_ps(_mm256_castsi256_ps(dn_bits), denorm_magic);
+    o = _mm256_blendv_epi8(o, _mm256_castps_si256(dn), is_denorm);
+    const __m256i sign =
+        _mm256_slli_epi32(_mm256_and_si256(h, _mm256_set1_epi32(0x8000)), 16);
+    o = _mm256_or_si256(o, sign);
+    _mm256_storeu_ps(dst + i, _mm256_castsi256_ps(o));
+  }
+  for (; i < n; ++i) dst[i] = float_from_half(src[i]);
+}
+
+void avx2_absmax_scan(const float* src, std::size_t n, float* max_abs,
+                      bool* all_finite) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  const __m256i exp_mask = _mm256_set1_epi32(0x7f800000);
+  __m256 m = _mm256_setzero_ps();
+  __m256i nonfinite = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i bits =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    nonfinite = _mm256_or_si256(
+        nonfinite,
+        _mm256_cmpeq_epi32(_mm256_and_si256(bits, exp_mask), exp_mask));
+    m = _mm256_max_ps(m, _mm256_castsi256_ps(_mm256_and_si256(bits, abs_mask)));
+  }
+  // Horizontal max over the eight lanes (order-free for non-NaN values;
+  // when any lane is non-finite the result is unspecified by contract).
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, m);
+  float mm = lanes[0];
+  for (int l = 1; l < 8; ++l) mm = (mm < lanes[l]) ? lanes[l] : mm;
+  bool finite = _mm256_movemask_epi8(nonfinite) == 0;
+  float tail_max = 0.0f;
+  bool tail_finite = true;
+  for (std::size_t j = i; j < n; ++j) {
+    std::uint32_t b = 0;
+    std::memcpy(&b, src + j, sizeof(b));
+    if ((b & 0x7f800000u) == 0x7f800000u) tail_finite = false;
+    b &= 0x7fffffffu;
+    float a = 0.0f;
+    std::memcpy(&a, &b, sizeof(a));
+    tail_max = (tail_max < a) ? a : tail_max;
+  }
+  mm = (mm < tail_max) ? tail_max : mm;
+  *max_abs = mm;
+  *all_finite = finite && tail_finite;
+}
+
+void avx2_quantize_i8(const float* src, std::int8_t* dst, std::size_t n,
+                      float inv_scale) {
+  const __m256 vs = _mm256_set1_ps(inv_scale);
+  const __m256i lo = _mm256_set1_epi32(-127);
+  const __m256i hi = _mm256_set1_epi32(127);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // cvtps_epi32 rounds to nearest even under the default MXCSR mode;
+    // the multiply stays a lone mulps so no FMA contraction can shift
+    // the rounding vs the scalar tier.
+    __m256i q = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(src + i), vs));
+    q = _mm256_min_epi32(_mm256_max_epi32(q, lo), hi);
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), q);
+    for (int l = 0; l < 8; ++l) {
+      dst[i + static_cast<std::size_t>(l)] = static_cast<std::int8_t>(lanes[l]);
+    }
+  }
+  for (; i < n; ++i) {
+    int q = static_cast<int>(std::nearbyintf(src[i] * inv_scale));
+    q = q > 127 ? 127 : (q < -127 ? -127 : q);
+    dst[i] = static_cast<std::int8_t>(q);
+  }
+}
+
+void avx2_dequantize_i8(const std::int8_t* src, float* dst, std::size_t n,
+                        float scale) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i b =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(src + i));
+    const __m256i w = _mm256_cvtepi8_epi32(b);
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_cvtepi32_ps(w), vs));
+  }
+  for (; i < n; ++i) dst[i] = static_cast<float>(src[i]) * scale;
+}
+
+void avx2_abs_values(const float* src, float* dst, std::size_t n) {
+  const __m256i abs_mask = _mm256_set1_epi32(0x7fffffff);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i bits =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(bits, abs_mask));
+  }
+  for (; i < n; ++i) {
+    std::uint32_t b = 0;
+    std::memcpy(&b, src + i, sizeof(b));
+    b &= 0x7fffffffu;
+    std::memcpy(dst + i, &b, sizeof(b));
+  }
+}
+
+// scatter_add is inherently serial below AVX-512; run the scalar body so
+// the table has a complete dispatch surface.
+void avx2_scatter_add(const std::uint32_t* idx, const float* val,
+                      std::size_t k, float* dst) {
+  for (std::size_t i = 0; i < k; ++i) dst[idx[i]] += val[i];
+}
+
+const CodecOps kAvx2CodecOps{
+    avx2_f32_to_f16,   avx2_f16_to_f32,   avx2_absmax_scan,
+    avx2_quantize_i8,  avx2_dequantize_i8, avx2_abs_values,
+    avx2_scatter_add,
+};
+
+}  // namespace
+
+bool avx2_codec_compiled() { return true; }
+
+const CodecOps& avx2_codec_ops() { return kAvx2CodecOps; }
+
+}  // namespace collapois::net::detail
+
+#else  // !__AVX2__
+
+namespace collapois::net::detail {
+
+bool avx2_codec_compiled() { return false; }
+
+// Never called: codec_ops() checks avx2_codec_compiled() first. The
+// scalar table keeps the symbol defined on every target.
+const CodecOps& avx2_codec_ops() { return kScalarCodecOps; }
+
+}  // namespace collapois::net::detail
+
+#endif  // __AVX2__

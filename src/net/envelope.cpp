@@ -16,16 +16,25 @@ std::uint64_t payload_checksum(std::span<const std::uint8_t> payload) {
 }
 
 Envelope encode_update(const fl::ClientUpdate& update, std::size_t round) {
+  return encode_update(update, round, CodecConfig{});
+}
+
+Envelope encode_update(const fl::ClientUpdate& update, std::size_t round,
+                       const CodecConfig& codec) {
   fl::StateWriter w;
   w.write_size(update.client_id);
   w.write_double(update.weight);
   w.write_u64(static_cast<std::uint64_t>(update.status));
   w.write_size(update.staleness);
-  w.write_floats(update.delta);
+  encode_delta(w, update.delta, codec);
 
   Envelope env;
   env.sender_id = update.client_id;
   env.round = round;
+  env.codec = codec.kind;
+  // Identity payload layout: the four header fields above (8 bytes
+  // each), the floats length prefix (8), then 4 bytes per element.
+  env.fp32_bytes = 5 * sizeof(std::uint64_t) + 4 * update.delta.size();
   env.payload = w.take();
   env.checksum = payload_checksum(env.payload);
   return env;
@@ -33,6 +42,13 @@ Envelope encode_update(const fl::ClientUpdate& update, std::size_t round) {
 
 std::optional<fl::ClientUpdate> decode_update(const Envelope& envelope) {
   if (payload_checksum(envelope.payload) != envelope.checksum) {
+    return std::nullopt;
+  }
+  // The codec field is routing metadata (outside the checksum); an
+  // unknown value means a damaged or forged header, not a parse bug.
+  if (envelope.codec != CodecKind::identity &&
+      envelope.codec != CodecKind::fp16 &&
+      envelope.codec != CodecKind::int8 && envelope.codec != CodecKind::topk) {
     return std::nullopt;
   }
   // The checksum passed, so the payload is the bytes the sender wrote and
@@ -49,7 +65,9 @@ std::optional<fl::ClientUpdate> decode_update(const Envelope& envelope) {
     }
     u.status = static_cast<fl::UpdateStatus>(status);
     u.staleness = r.read_size();
-    u.delta = r.read_floats();
+    CodecConfig codec;
+    codec.kind = envelope.codec;  // decoders key on the kind alone
+    u.delta = decode_delta(r, codec);
     if (!r.exhausted()) return std::nullopt;
     return u;
   } catch (const std::exception&) {

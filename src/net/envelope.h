@@ -6,10 +6,19 @@
 // The receiver verifies the checksum BEFORE parsing, so a truncated or
 // bit-flipped message is detected at the network boundary — with a
 // telemetry counter — instead of surfacing as a mysterious NaN deep in
-// aggregation (or as a StateReader overrun). The codec is bit-exact
-// (raw IEEE-754 bits, little-endian), so a clean wire round-trip returns
-// the identical update, float for float — the property the zero-fault
-// transport configuration's element-exactness guarantee rests on.
+// aggregation (or as a StateReader overrun).
+//
+// The delta vector's wire representation is decided by the negotiated
+// update codec (net/codec.h): the agreed kind rides in the envelope
+// header (routing metadata, outside the checksummed payload) and the
+// checksum covers the ENCODED payload — the bytes that actually cross
+// the wire. The default identity codec is bit-exact (raw IEEE-754 bits,
+// little-endian), so a clean wire round-trip returns the identical
+// update, float for float — the property the zero-fault transport
+// configuration's element-exactness guarantee rests on. The lossy
+// codecs trade that exactness for bytes; fp32_bytes records what the
+// uncompressed payload would have weighed so TransportStats can account
+// the compression ratio.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +27,7 @@
 #include <vector>
 
 #include "fl/update.h"
+#include "net/codec.h"
 
 namespace collapois::net {
 
@@ -30,16 +40,27 @@ struct Envelope {
   // packet header.
   std::size_t sender_id = 0;
   std::size_t round = 0;
+  // The negotiated update codec this payload was encoded with; the
+  // receiver selects its decoder from this field.
+  CodecKind codec = CodecKind::identity;
+  // What the identity-encoded payload would have weighed, for
+  // bytes-on-wire accounting (== payload.size() under identity).
+  std::size_t fp32_bytes = 0;
   std::uint64_t checksum = 0;
   std::vector<std::uint8_t> payload;
 };
 
-// Serialize an update into a checksummed envelope.
+// Serialize an update into a checksummed envelope with the negotiated
+// codec (the 2-arg overload is the identity codec — the raw pre-codec
+// wire format, byte-identical to what it has always produced).
 Envelope encode_update(const fl::ClientUpdate& update, std::size_t round);
+Envelope encode_update(const fl::ClientUpdate& update, std::size_t round,
+                       const CodecConfig& codec);
 
-// Verify the checksum, then parse. Returns nullopt when the checksum does
-// not match the payload (damaged in flight) or the payload does not parse
-// cleanly (every byte must be consumed).
+// Verify the checksum, then parse with the decoder the envelope header
+// names. Returns nullopt when the checksum does not match the payload
+// (damaged in flight), the codec field is not a known kind, or the
+// payload does not parse cleanly (every byte must be consumed).
 std::optional<fl::ClientUpdate> decode_update(const Envelope& envelope);
 
 }  // namespace collapois::net

@@ -73,6 +73,9 @@ void TransportStats::accumulate(const TransportStats& other) {
   transport_dropped += other.transport_dropped;
   deadline_dropped += other.deadline_dropped;
   excess_dropped += other.excess_dropped;
+  fp32_bytes_sent += other.fp32_bytes_sent;
+  wire_bytes_sent += other.wire_bytes_sent;
+  wire_bytes_received += other.wire_bytes_received;
   arrival_max_ms = std::max(arrival_max_ms, other.arrival_max_ms);
 }
 
@@ -144,6 +147,8 @@ Delivery NetworkModel::transmit(std::size_t client_id, std::size_t round,
     }
     ++d.attempts;
     ++stats->msgs_sent;
+    stats->fp32_bytes_sent += envelope.fp32_bytes;
+    stats->wire_bytes_sent += envelope.payload.size();
     if (attempt > 0) ++stats->retried;
 
     const double latency =
@@ -182,6 +187,7 @@ Delivery NetworkModel::transmit(std::size_t client_id, std::size_t round,
       }
       d.status = DeliveryStatus::delivered;
       d.arrival_ms = arrival;
+      stats->wire_bytes_received += envelope.payload.size();
       d.duplicated = cell_uniform(config_.seed, client_id, round, attempt,
                                   kLaneDuplicate) < config_.duplicate_prob;
       if (d.duplicated) ++stats->duplicated;
@@ -208,6 +214,9 @@ void NetworkModel::save_state(fl::StateWriter& w) const {
   w.write_size(totals_.transport_dropped);
   w.write_size(totals_.deadline_dropped);
   w.write_size(totals_.excess_dropped);
+  w.write_size(totals_.fp32_bytes_sent);
+  w.write_size(totals_.wire_bytes_sent);
+  w.write_size(totals_.wire_bytes_received);
   w.write_double(totals_.arrival_max_ms);
   // In-flight queue length. The round barrier drains every message before
   // a checkpoint can be taken, so this is structurally zero; the field
@@ -225,6 +234,9 @@ void NetworkModel::load_state(fl::StateReader& r) {
   totals_.transport_dropped = r.read_size();
   totals_.deadline_dropped = r.read_size();
   totals_.excess_dropped = r.read_size();
+  totals_.fp32_bytes_sent = r.read_size();
+  totals_.wire_bytes_sent = r.read_size();
+  totals_.wire_bytes_received = r.read_size();
   totals_.arrival_max_ms = r.read_double();
   const std::size_t in_flight = r.read_size();
   if (in_flight != 0) {

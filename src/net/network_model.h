@@ -94,6 +94,15 @@ struct TransportStats {
   std::size_t transport_dropped = 0;  // retry budget exhausted
   std::size_t deadline_dropped = 0;   // delivered/gave up past the deadline
   std::size_t excess_dropped = 0;     // arrived after the cohort filled
+  // Bytes-on-wire accounting (DESIGN.md §15). Sent bytes count EVERY
+  // send attempt (retries resend the same encoded payload); received
+  // bytes count intact in-deadline deliveries only. fp32_bytes_sent is
+  // what the same attempts would have weighed under the identity codec,
+  // so fp32_bytes_sent / wire_bytes_sent is the compression ratio
+  // actually realized on the wire (== 1 under identity).
+  std::size_t fp32_bytes_sent = 0;     // pre-codec payload bytes, all attempts
+  std::size_t wire_bytes_sent = 0;     // encoded payload bytes, all attempts
+  std::size_t wire_bytes_received = 0; // encoded bytes of intact deliveries
   // Virtual arrival-time quantiles over the round's intact in-deadline
   // deliveries (nearest-rank). In the cumulative totals only
   // arrival_max_ms is meaningful (the per-round quantiles do not compose).

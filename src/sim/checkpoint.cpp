@@ -26,7 +26,10 @@ constexpr std::uint64_t kMagic = 0x434f4c4c41504b54ULL;  // "COLLAPKT"
 // v5: durability header — the body moved behind a (payload_size, FNV-1a
 //     digest) pair verified BEFORE parsing, so truncation and bit flips
 //     fail loudly instead of feeding damaged bytes to the StateReader.
-constexpr std::uint64_t kVersion = 5;
+// v6: codec_fingerprint (the update-codec config; lossy quantization
+//     noise shapes the trajectory, so cross-codec resume must fail) and
+//     the NetworkModel state grew its bytes-on-wire totals.
+constexpr std::uint64_t kVersion = 6;
 // Header: magic, version, payload_size, digest — 4 u64 fields.
 constexpr std::size_t kHeaderBytes = 32;
 
@@ -132,12 +135,35 @@ std::uint64_t scale_fingerprint(const ExperimentConfig& c) {
   return h;
 }
 
+std::uint64_t codec_fingerprint(const net::CodecConfig& c) {
+  std::uint64_t h = 0x082efa98ec4e6c89ULL;
+  h = mix(h, static_cast<std::uint64_t>(c.kind));
+  switch (c.kind) {
+    case net::CodecKind::identity:
+    case net::CodecKind::fp16:
+      // No knobs: every identity config (and every fp16 config) maps to
+      // one fingerprint regardless of stale bits/topk_fraction values.
+      break;
+    case net::CodecKind::int8:
+      h = mix(h, c.bits);
+      break;
+    case net::CodecKind::topk:
+      h = mix_double(h, c.topk_fraction);
+      break;
+  }
+  // The dispatch TIER is deliberately excluded, mirroring the kernel-set
+  // rationale above but stronger: the codec tiers are bit-identical, so
+  // a checkpoint written on an AVX2 host resumes exactly anywhere.
+  return h;
+}
+
 std::vector<std::uint8_t> encode_checkpoint(const Checkpoint& ck) {
   fl::StateWriter payload;
   payload.write_u64(ck.fingerprint);
   payload.write_u64(ck.net_fingerprint);
   payload.write_u64(ck.engine_fingerprint);
   payload.write_u64(ck.scale_fingerprint);
+  payload.write_u64(ck.codec_fingerprint);
   payload.write_size(ck.rounds_completed);
   for (std::uint64_t s : ck.run_rng.s) payload.write_u64(s);
   payload.write_double(ck.run_rng.cached_normal);
@@ -197,6 +223,7 @@ Checkpoint decode_checkpoint(std::span<const std::uint8_t> bytes,
   ck.net_fingerprint = r.read_u64();
   ck.engine_fingerprint = r.read_u64();
   ck.scale_fingerprint = r.read_u64();
+  ck.codec_fingerprint = r.read_u64();
   ck.rounds_completed = r.read_size();
   for (std::uint64_t& s : ck.run_rng.s) s = r.read_u64();
   ck.run_rng.cached_normal = r.read_double();

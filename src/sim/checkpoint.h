@@ -48,6 +48,12 @@ struct Checkpoint {
   // algorithm blob stores only the materialized subset — neither can be
   // spliced across modes.
   std::uint64_t scale_fingerprint = 0;
+  // Fingerprint of the update-codec config (codec_fingerprint below).
+  // Separate so a resume under a different codec fails naming
+  // --codec/--codec-bits/--codec-topk: a lossy codec's quantization
+  // noise is part of the trajectory, so splicing codecs would silently
+  // change the experiment mid-run.
+  std::uint64_t codec_fingerprint = 0;
   std::size_t rounds_completed = 0;
   stats::Rng::State run_rng;
   // The attacker's shared Trojaned model (empty while unarmed).
@@ -85,6 +91,12 @@ std::uint64_t engine_fingerprint(const ExperimentConfig& config);
 // than assumed. Every flat-eager config (shards == 1, lazy off) maps to
 // the same fingerprint.
 std::uint64_t scale_fingerprint(const ExperimentConfig& config);
+
+// Hash of the update-codec config: the kind plus the knobs that matter
+// for it (bits for int8, fraction for topk). Every identity config maps
+// to the same fingerprint. The SIMD dispatch tier is excluded — codec
+// tiers are bit-identical, so checkpoints are tier-portable.
+std::uint64_t codec_fingerprint(const net::CodecConfig& config);
 
 // Serializes the checkpoint into the on-disk image: a fixed header
 // (magic, version, payload size, FNV-1a payload digest — the

@@ -101,6 +101,13 @@ struct ExperimentConfig {
   // exact pre-transport code path. Server-mediated algorithms only
   // (MetaFed has no update channel to simulate a network on).
   net::NetConfig net;
+  // Update codec the server offers on each transport link (net/codec.h,
+  // DESIGN.md §15): identity (the default, bit-exact), fp16, int8, or
+  // topk. Lossy codecs require the transport to be enabled — without a
+  // wire there is nothing to compress. The codec config is part of the
+  // checkpoint fingerprint (codec_fingerprint): quantization noise
+  // shapes the trajectory, so cross-codec resume fails loudly.
+  net::CodecConfig codec;
   // Server-side quarantine ceiling on the L2 norm of incoming updates
   // (0 disables; malformed updates are always quarantined).
   double update_norm_ceiling = 0.0;

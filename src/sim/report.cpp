@@ -1,5 +1,6 @@
 #include "sim/report.h"
 
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 
@@ -68,6 +69,22 @@ void write_series_csv(std::ostream& os, const std::vector<SeriesRow>& rows) {
   }
 }
 
+namespace {
+
+// JSON has no NaN/Infinity literal; a diverged metric (e.g. dist_to_x
+// after the trajectory blew up under a lossy codec) must serialize as
+// null, not as the "-nan" that ostream would print — which breaks every
+// downstream json.load.
+struct JsonNum {
+  double v;
+};
+std::ostream& operator<<(std::ostream& os, JsonNum n) {
+  if (std::isfinite(n.v)) return os << n.v;
+  return os << "null";
+}
+
+}  // namespace
+
 void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
                        const std::vector<RoundRecord>& rounds) {
   // The kernels block records which compute path produced this run:
@@ -95,14 +112,24 @@ void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
        << ", \"rejected\": " << r.n_rejected
        << ", \"stragglers\": " << r.n_stragglers
        << ", \"skipped\": " << (r.aggregate_skipped ? "true" : "false")
-       << ", \"dist_to_x\": " << r.distance_to_x
+       << ", \"dist_to_x\": " << JsonNum{r.distance_to_x}
        << ", \"wall_ms\": " << r.wall_ms
        << ", \"agg_ms\": " << r.agg_ms
        << ", \"clients_per_sec\": " << r.clients_per_sec;
     if (config.net.enabled) {
-      // Per-round transport block: message counters and the virtual
-      // arrival-time quantiles (see net::TransportStats).
+      // Per-round transport block: message counters, bytes-on-wire under
+      // the configured codec, and the virtual arrival-time quantiles
+      // (see net::TransportStats). compression_ratio is the realized
+      // fp32/wire ratio over the round's send attempts (1 when nothing
+      // was sent, so the field is always well-formed JSON).
+      const double ratio =
+          r.transport.wire_bytes_sent > 0
+              ? static_cast<double>(r.transport.fp32_bytes_sent) /
+                    static_cast<double>(r.transport.wire_bytes_sent)
+              : 1.0;
       os << ", \"net\": {\"cohort\": " << r.cohort_size
+         << ", \"codec\": \"" << net::codec_kind_name(config.codec.kind)
+         << "\""
          << ", \"sent\": " << r.transport.msgs_sent
          << ", \"lost\": " << r.transport.lost
          << ", \"corrupted\": " << r.transport.corrupted
@@ -111,6 +138,10 @@ void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
          << ", \"transport_dropped\": " << r.transport.transport_dropped
          << ", \"deadline_dropped\": " << r.transport.deadline_dropped
          << ", \"excess_dropped\": " << r.transport.excess_dropped
+         << ", \"fp32_bytes_sent\": " << r.transport.fp32_bytes_sent
+         << ", \"wire_bytes_sent\": " << r.transport.wire_bytes_sent
+         << ", \"wire_bytes_received\": " << r.transport.wire_bytes_received
+         << ", \"compression_ratio\": " << ratio
          << ", \"arrival_p50_ms\": " << r.transport.arrival_p50_ms
          << ", \"arrival_p90_ms\": " << r.transport.arrival_p90_ms
          << ", \"arrival_max_ms\": " << r.transport.arrival_max_ms << "}";
@@ -150,8 +181,8 @@ void write_rounds_json(std::ostream& os, const ExperimentConfig& config,
          << ", \"degraded\": " << (r.degraded ? "true" : "false") << "}";
     }
     if (r.population.has_value()) {
-      os << ", \"benign_ac\": " << r.population->benign_ac
-         << ", \"attack_sr\": " << r.population->attack_sr;
+      os << ", \"benign_ac\": " << JsonNum{r.population->benign_ac}
+         << ", \"attack_sr\": " << JsonNum{r.population->attack_sr};
     }
     os << "}";
   }

@@ -397,6 +397,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     }
     net_model = std::make_unique<net::NetworkModel>(cfg.net);
   }
+  net::validate_codec(cfg.codec);
+  if (net::codec_is_lossy(cfg.codec.kind) && !cfg.net.enabled) {
+    throw std::invalid_argument(
+        "run_experiment: a lossy --codec requires the simulated transport "
+        "(--net) — without a wire there is nothing to compress");
+  }
 
   // --- federated algorithm ----------------------------------------------
   std::unique_ptr<fl::FlAlgorithm> algo;
@@ -450,6 +456,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     scfg.update_norm_ceiling = cfg.update_norm_ceiling;
     scfg.pool = pool.get();
     scfg.net = net_model.get();
+    scfg.codec = cfg.codec;
     scfg.engine = cfg.round_engine;
     scfg.async = cfg.async;
     if (cfg.lazy_clients) {
@@ -559,6 +566,15 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
           "blob stores only the materialized subset, so resume with the "
           "exact scale configuration the checkpoint was taken under");
     }
+    if (ck.codec_fingerprint != codec_fingerprint(cfg.codec)) {
+      throw std::invalid_argument(
+          "run_experiment: checkpoint was saved under a different update "
+          "codec — the codec kind (--codec) or one of its knobs "
+          "(--codec-bits/--codec-topk) changed since the checkpoint; a "
+          "lossy codec's quantization noise is part of the trajectory, so "
+          "resume with the exact codec configuration the checkpoint was "
+          "taken under");
+    }
     if (ck.rounds_completed > cfg.rounds) {
       throw std::invalid_argument(
           "run_experiment: checkpoint is past this config's round budget");
@@ -616,6 +632,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg,
     ck.net_fingerprint = net_fingerprint(cfg.net);
     ck.engine_fingerprint = engine_fingerprint(cfg);
     ck.scale_fingerprint = scale_fingerprint(cfg);
+    ck.codec_fingerprint = codec_fingerprint(cfg.codec);
     ck.rounds_completed = rounds_completed;
     ck.run_rng = rng.state();
     ck.trojaned_model = result.trojaned_model;
